@@ -1,0 +1,271 @@
+//! Address maps and region decode.
+//!
+//! Every endpoint (memory or I/O tile) owns a region of the global address
+//! space; "an automated script generates the address-based routing table for
+//! each XP which is used for routing the AXI transactions based on their
+//! destination address" (paper §II). [`AddressMap`] is that script's input:
+//! it decodes an address to an endpoint index, and the routing-table
+//! generator in the `patronoc` crate turns endpoint indices into output
+//! ports per crosspoint.
+
+use std::fmt;
+
+/// A half-open address region `[start, end)` owned by one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: u64,
+    /// One past the last byte of the region.
+    pub end: u64,
+    /// Endpoint (slave) index owning the region.
+    pub endpoint: usize,
+}
+
+impl Region {
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+
+    /// Region size in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Errors from [`AddressMap`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrMapError {
+    /// Two regions overlap; decode would be ambiguous.
+    Overlap {
+        /// Index of the first region in insertion order.
+        first: usize,
+        /// Index of the overlapping region in insertion order.
+        second: usize,
+    },
+    /// A region with `start >= end` was supplied.
+    EmptyRegion {
+        /// Index of the offending region.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AddrMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overlap { first, second } => {
+                write!(f, "address regions {first} and {second} overlap")
+            }
+            Self::EmptyRegion { index } => write!(f, "address region {index} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for AddrMapError {}
+
+/// A set of non-overlapping address regions, decodable to endpoint indices.
+///
+/// # Examples
+///
+/// ```
+/// use axi::AddressMap;
+///
+/// // 16 endpoints with 16 MiB each (the 4×4 mesh default).
+/// let map = AddressMap::uniform(16, 16 << 20, 0x8000_0000);
+/// assert_eq!(map.decode(0x8000_0000), Some(0));
+/// assert_eq!(map.decode(0x8100_0000), Some(1));
+/// assert_eq!(map.decode(0x0), None); // outside the map → error slave
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    /// Regions sorted by start address.
+    regions: Vec<Region>,
+}
+
+impl AddressMap {
+    /// Builds a map from explicit regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrMapError`] when regions overlap or are empty.
+    pub fn new(mut regions: Vec<Region>) -> Result<Self, AddrMapError> {
+        for (i, r) in regions.iter().enumerate() {
+            if r.is_empty() {
+                return Err(AddrMapError::EmptyRegion { index: i });
+            }
+        }
+        // Detect overlap on the sorted view, reporting insertion indices.
+        let mut order: Vec<usize> = (0..regions.len()).collect();
+        order.sort_by_key(|&i| regions[i].start);
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if regions[a].end > regions[b].start {
+                return Err(AddrMapError::Overlap {
+                    first: a.min(b),
+                    second: a.max(b),
+                });
+            }
+        }
+        regions.sort_by_key(|r| r.start);
+        Ok(Self { regions })
+    }
+
+    /// Builds a uniform map: `n` endpoints, each owning `region_size` bytes,
+    /// starting at `base`. Endpoint `i` owns
+    /// `[base + i·region_size, base + (i+1)·region_size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `region_size == 0`.
+    #[must_use]
+    pub fn uniform(n: usize, region_size: u64, base: u64) -> Self {
+        assert!(n > 0 && region_size > 0, "need endpoints and a region size");
+        let regions = (0..n)
+            .map(|i| Region {
+                start: base + i as u64 * region_size,
+                end: base + (i as u64 + 1) * region_size,
+                endpoint: i,
+            })
+            .collect();
+        Self::new(regions).expect("uniform regions never overlap")
+    }
+
+    /// Decodes an address to its owning endpoint, or `None` when the address
+    /// is unmapped (an AXI interconnect routes those to the error slave,
+    /// which responds with `DECERR`).
+    #[must_use]
+    pub fn decode(&self, addr: u64) -> Option<usize> {
+        let idx = self.regions.partition_point(|r| r.end <= addr);
+        self.regions
+            .get(idx)
+            .filter(|r| r.contains(addr))
+            .map(|r| r.endpoint)
+    }
+
+    /// The region owned by endpoint `endpoint`, if any.
+    #[must_use]
+    pub fn region_of(&self, endpoint: usize) -> Option<Region> {
+        self.regions.iter().copied().find(|r| r.endpoint == endpoint)
+    }
+
+    /// Base address of an endpoint's region.
+    #[must_use]
+    pub fn base_of(&self, endpoint: usize) -> Option<u64> {
+        self.region_of(endpoint).map(|r| r.start)
+    }
+
+    /// All regions, sorted by start address.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the map has no regions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_decode() {
+        let map = AddressMap::uniform(4, 0x1000, 0x8000);
+        assert_eq!(map.decode(0x8000), Some(0));
+        assert_eq!(map.decode(0x8FFF), Some(0));
+        assert_eq!(map.decode(0x9000), Some(1));
+        assert_eq!(map.decode(0xBFFF), Some(3));
+        assert_eq!(map.decode(0xC000), None);
+        assert_eq!(map.decode(0x7FFF), None);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let err = AddressMap::new(vec![
+            Region {
+                start: 0,
+                end: 100,
+                endpoint: 0,
+            },
+            Region {
+                start: 50,
+                end: 150,
+                endpoint: 1,
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, AddrMapError::Overlap { first: 0, second: 1 });
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let err = AddressMap::new(vec![Region {
+            start: 10,
+            end: 10,
+            endpoint: 0,
+        }])
+        .unwrap_err();
+        assert_eq!(err, AddrMapError::EmptyRegion { index: 0 });
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let map = AddressMap::new(vec![
+            Region {
+                start: 0x2000,
+                end: 0x3000,
+                endpoint: 7,
+            },
+            Region {
+                start: 0x1000,
+                end: 0x2000,
+                endpoint: 3,
+            },
+        ])
+        .unwrap();
+        assert_eq!(map.decode(0x1800), Some(3));
+        assert_eq!(map.decode(0x2800), Some(7));
+    }
+
+    #[test]
+    fn region_of_and_base_of() {
+        let map = AddressMap::uniform(16, 1 << 24, 0x8000_0000);
+        assert_eq!(map.base_of(5), Some(0x8000_0000 + 5 * (1 << 24)));
+        assert_eq!(map.region_of(15).unwrap().len(), 1 << 24);
+        assert_eq!(map.base_of(16), None);
+    }
+
+    #[test]
+    fn adjacent_regions_do_not_overlap() {
+        assert!(AddressMap::new(vec![
+            Region {
+                start: 0,
+                end: 10,
+                endpoint: 0
+            },
+            Region {
+                start: 10,
+                end: 20,
+                endpoint: 1
+            },
+        ])
+        .is_ok());
+    }
+}

@@ -1,0 +1,188 @@
+//! AXI compliance checking.
+//!
+//! [`check_burst_sequence`] verifies that a burst list produced by a DMA
+//! engine (or by [`crate::split::split_transfer`]) is a legal, complete and
+//! contiguous covering of a transfer. It is used by the test suites of every
+//! simulator crate and by the property tests; in a hardware flow this is the
+//! role a bus protocol checker plays in the testbench.
+
+use crate::burst::{Burst, BurstType};
+use crate::MAX_INCR_BEATS;
+use std::fmt;
+
+/// A violation found by [`check_burst_sequence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A burst crosses a 4 KiB boundary.
+    Crosses4k {
+        /// Index of the offending burst.
+        index: usize,
+        /// Its start address.
+        addr: u64,
+    },
+    /// A burst exceeds the 256-beat INCR limit.
+    TooManyBeats {
+        /// Index of the offending burst.
+        index: usize,
+        /// Its beat count.
+        beats: u64,
+    },
+    /// The sequence is not contiguous.
+    Gap {
+        /// Index of the burst after the gap.
+        index: usize,
+        /// Expected start address.
+        expected: u64,
+        /// Actual start address.
+        actual: u64,
+    },
+    /// The total payload differs from the transfer length.
+    WrongTotal {
+        /// Expected total bytes.
+        expected: u64,
+        /// Actual total bytes.
+        actual: u64,
+    },
+    /// A non-INCR burst appeared in DMA traffic.
+    NotIncr {
+        /// Index of the offending burst.
+        index: usize,
+        /// Its burst type.
+        burst: BurstType,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Crosses4k { index, addr } => {
+                write!(f, "burst {index} at {addr:#x} crosses a 4 KiB boundary")
+            }
+            Self::TooManyBeats { index, beats } => {
+                write!(f, "burst {index} has {beats} beats (> {MAX_INCR_BEATS})")
+            }
+            Self::Gap {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "burst {index} starts at {actual:#x}, expected {expected:#x}"
+            ),
+            Self::WrongTotal { expected, actual } => {
+                write!(f, "total payload {actual} bytes, expected {expected}")
+            }
+            Self::NotIncr { index, burst } => {
+                write!(f, "burst {index} is {burst}, expected INCR")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks that `bursts` is an AXI-compliant, contiguous covering of the
+/// transfer `(addr, len)`. Returns all violations found (empty = compliant).
+#[must_use]
+pub fn check_burst_sequence(addr: u64, len: u64, bursts: &[Burst]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut cursor = addr;
+    let mut total = 0u64;
+    for (i, b) in bursts.iter().enumerate() {
+        if b.burst_type() != BurstType::Incr {
+            violations.push(Violation::NotIncr {
+                index: i,
+                burst: b.burst_type(),
+            });
+        }
+        if b.num_beats() > MAX_INCR_BEATS {
+            violations.push(Violation::TooManyBeats {
+                index: i,
+                beats: b.num_beats(),
+            });
+        }
+        if b.crosses_4k_boundary() {
+            violations.push(Violation::Crosses4k {
+                index: i,
+                addr: b.addr(),
+            });
+        }
+        if b.addr() != cursor {
+            violations.push(Violation::Gap {
+                index: i,
+                expected: cursor,
+                actual: b.addr(),
+            });
+            cursor = b.addr();
+        }
+        cursor += b.payload_bytes();
+        total += b.payload_bytes();
+    }
+    if total != len {
+        violations.push(Violation::WrongTotal {
+            expected: len,
+            actual: total,
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_transfer;
+
+    #[test]
+    fn split_output_is_compliant() {
+        for &(addr, len, bb) in &[
+            (0u64, 65536u64, 64u64),
+            (0x1003, 9999, 4),
+            (0xFFE, 4, 8),
+            (0, 1, 128),
+        ] {
+            let bursts = split_transfer(addr, len, bb);
+            assert!(
+                check_burst_sequence(addr, len, &bursts).is_empty(),
+                "{addr:#x}+{len} on {bb}-byte bus"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_gap() {
+        let mut bursts = split_transfer(0, 4096, 4);
+        assert!(bursts.len() >= 3);
+        bursts.remove(1);
+        let v = check_burst_sequence(0, 4096, &bursts);
+        assert!(v.iter().any(|x| matches!(x, Violation::Gap { .. })));
+        assert!(v.iter().any(|x| matches!(x, Violation::WrongTotal { .. })));
+    }
+
+    #[test]
+    fn detects_4k_crossing() {
+        let bad = Burst::incr_covering(0xF00, 512, 4).unwrap();
+        let v = check_burst_sequence(0xF00, 512, &[bad]);
+        assert!(v.iter().any(|x| matches!(x, Violation::Crosses4k { .. })));
+    }
+
+    #[test]
+    fn detects_wrong_type() {
+        let b = Burst::new(0x40, 4, 4, BurstType::Wrap).unwrap();
+        let v = check_burst_sequence(0x40, 16, &[b]);
+        assert!(v.iter().any(|x| matches!(x, Violation::NotIncr { .. })));
+    }
+
+    #[test]
+    fn empty_sequence_for_zero_transfer_ok() {
+        assert!(check_burst_sequence(0x100, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn violations_display() {
+        let bad = Burst::incr_covering(0xF00, 512, 4).unwrap();
+        let v = check_burst_sequence(0, 512, &[bad]);
+        for violation in v {
+            assert!(!violation.to_string().is_empty());
+        }
+    }
+}

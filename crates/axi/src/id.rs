@@ -1,0 +1,318 @@
+//! Transaction IDs and ID remapping.
+//!
+//! AXI orders transactions *per ID*: two transactions with the same ID from
+//! the same master must complete in order, while different IDs are
+//! unordered. A crosspoint must therefore (a) keep enough distinct IDs on
+//! its downstream ports and (b) remap incoming IDs so its ports stay
+//! isomorphic (paper §II: "The XP consists of a configurable crossbar switch
+//! and ID remappers to ensure isomorphic XP ports").
+//!
+//! [`IdRemapper`] models the `axi_id_remap` block of the pulp-platform AXI
+//! library: a table of `2^IW` output IDs with a free list; an input
+//! `(port, id)` pair that already has in-flight transactions reuses its slot
+//! (preserving intra-ID ordering), a new pair allocates a free slot, and the
+//! remapper back-pressures when no slot is free.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An AXI transaction ID (wire value, at most 16 bits in Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AxiId(pub u16);
+
+impl fmt::Display for AxiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+/// A key identifying the *source* of a transaction at a remapper: which
+/// upstream port it arrived on and which wire ID it carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceKey {
+    /// Upstream (slave-side) port index.
+    pub port: u8,
+    /// Wire ID on that port.
+    pub id: AxiId,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: SourceKey,
+    inflight: u32,
+}
+
+/// An ID remap table with `2^IW` downstream IDs.
+///
+/// # Examples
+///
+/// ```
+/// use axi::id::{AxiId, IdRemapper, SourceKey};
+///
+/// let mut remap = IdRemapper::new(2); // IW = 2 → 4 downstream IDs
+/// let key = SourceKey { port: 0, id: AxiId(9) };
+/// let out = remap.acquire(key).expect("table has free slots");
+/// assert!(out.0 < 4);
+/// // Same source reuses the same downstream ID (ordering preserved):
+/// assert_eq!(remap.acquire(key), Some(out));
+/// remap.release(out);
+/// remap.release(out);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdRemapper {
+    slots: Vec<Option<Slot>>,
+    by_key: HashMap<SourceKey, u16>,
+    free: Vec<u16>,
+}
+
+impl IdRemapper {
+    /// Creates a remapper with `2^id_width` downstream IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id_width` is outside `1..=16`.
+    #[must_use]
+    pub fn new(id_width: u32) -> Self {
+        assert!((1..=16).contains(&id_width), "id width out of range");
+        let n = 1usize << id_width;
+        Self {
+            slots: vec![None; n],
+            by_key: HashMap::new(),
+            free: (0..n as u16).rev().collect(),
+        }
+    }
+
+    /// Number of downstream IDs.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Downstream IDs currently in use.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether a *new* source key could be admitted this cycle.
+    #[must_use]
+    pub fn has_free_slot(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Whether `key` can acquire an ID right now (existing slot or free one).
+    #[must_use]
+    pub fn can_acquire(&self, key: SourceKey) -> bool {
+        self.by_key.contains_key(&key) || self.has_free_slot()
+    }
+
+    /// Acquires (or reuses) a downstream ID for `key`, incrementing its
+    /// in-flight count. Returns `None` when the table is exhausted — the
+    /// remapper back-pressures the request channel in that case.
+    pub fn acquire(&mut self, key: SourceKey) -> Option<AxiId> {
+        if let Some(&slot_idx) = self.by_key.get(&key) {
+            let slot = self.slots[slot_idx as usize]
+                .as_mut()
+                .expect("by_key points at a live slot");
+            slot.inflight += 1;
+            return Some(AxiId(slot_idx));
+        }
+        let slot_idx = self.free.pop()?;
+        self.slots[slot_idx as usize] = Some(Slot { key, inflight: 1 });
+        self.by_key.insert(key, slot_idx);
+        Some(AxiId(slot_idx))
+    }
+
+    /// Looks up the source key for a downstream ID (used to route responses
+    /// back to the right upstream port).
+    #[must_use]
+    pub fn source_of(&self, downstream: AxiId) -> Option<SourceKey> {
+        self.slots
+            .get(downstream.0 as usize)?
+            .as_ref()
+            .map(|s| s.key)
+    }
+
+    /// Releases one in-flight transaction on `downstream`; frees the slot
+    /// when the count reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downstream` has no in-flight transactions — that always
+    /// indicates a protocol bug in the caller.
+    pub fn release(&mut self, downstream: AxiId) {
+        let slot_ref = &mut self.slots[downstream.0 as usize];
+        let slot = slot_ref.as_mut().expect("release of unused id");
+        slot.inflight -= 1;
+        if slot.inflight == 0 {
+            self.by_key.remove(&slot.key);
+            *slot_ref = None;
+            self.free.push(downstream.0);
+        }
+    }
+}
+
+/// Per-ID outstanding-transaction counter used at master endpoints and demux
+/// stages to enforce AXI's same-ID ordering rule: a master must not issue a
+/// transaction with an ID that is in flight towards a *different*
+/// destination (the interconnect could otherwise reorder them).
+#[derive(Debug, Clone, Default)]
+pub struct OrderingGuard {
+    /// id → (destination, outstanding count)
+    inflight: HashMap<AxiId, (usize, u32)>,
+}
+
+impl OrderingGuard {
+    /// Creates an empty guard.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a transaction with `id` may be issued towards `dest` now.
+    #[must_use]
+    pub fn may_issue(&self, id: AxiId, dest: usize) -> bool {
+        match self.inflight.get(&id) {
+            None => true,
+            Some(&(d, _)) => d == dest,
+        }
+    }
+
+    /// Records an issued transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the issue violates [`may_issue`](Self::may_issue).
+    pub fn issue(&mut self, id: AxiId, dest: usize) {
+        let entry = self.inflight.entry(id).or_insert((dest, 0));
+        assert_eq!(entry.0, dest, "same-ID transaction to different destination");
+        entry.1 += 1;
+    }
+
+    /// Records a completed transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on completion of a transaction that was never issued.
+    pub fn complete(&mut self, id: AxiId) {
+        let entry = self.inflight.get_mut(&id).expect("completion without issue");
+        entry.1 -= 1;
+        if entry.1 == 0 {
+            self.inflight.remove(&id);
+        }
+    }
+
+    /// Total outstanding transactions across all IDs.
+    #[must_use]
+    pub fn outstanding(&self) -> u32 {
+        self.inflight.values().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(port: u8, id: u16) -> SourceKey {
+        SourceKey {
+            port,
+            id: AxiId(id),
+        }
+    }
+
+    #[test]
+    fn same_key_reuses_slot() {
+        let mut r = IdRemapper::new(2);
+        let a = r.acquire(key(0, 5)).unwrap();
+        let b = r.acquire(key(0, 5)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r.in_use(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_ids() {
+        let mut r = IdRemapper::new(2);
+        let a = r.acquire(key(0, 1)).unwrap();
+        let b = r.acquire(key(1, 1)).unwrap();
+        let c = r.acquire(key(0, 2)).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn exhaustion_backpressures() {
+        let mut r = IdRemapper::new(1); // 2 slots
+        assert!(r.acquire(key(0, 0)).is_some());
+        assert!(r.acquire(key(0, 1)).is_some());
+        assert!(!r.has_free_slot());
+        assert_eq!(r.acquire(key(0, 2)), None);
+        // But an existing key still goes through.
+        assert!(r.can_acquire(key(0, 1)));
+        assert!(r.acquire(key(0, 1)).is_some());
+    }
+
+    #[test]
+    fn release_frees_slot_only_at_zero() {
+        let mut r = IdRemapper::new(1);
+        let a = r.acquire(key(0, 7)).unwrap();
+        let _ = r.acquire(key(0, 7)).unwrap();
+        r.release(a);
+        assert_eq!(r.in_use(), 1); // still one in flight
+        r.release(a);
+        assert_eq!(r.in_use(), 0);
+        assert!(r.has_free_slot());
+    }
+
+    #[test]
+    fn source_lookup_roundtrip() {
+        let mut r = IdRemapper::new(3);
+        let k = key(2, 9);
+        let out = r.acquire(k).unwrap();
+        assert_eq!(r.source_of(out), Some(k));
+        r.release(out);
+        assert_eq!(r.source_of(out), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unused id")]
+    fn release_unused_panics() {
+        let mut r = IdRemapper::new(1);
+        r.release(AxiId(0));
+    }
+
+    #[test]
+    fn slot_reuse_after_release() {
+        let mut r = IdRemapper::new(1);
+        let a = r.acquire(key(0, 0)).unwrap();
+        let b = r.acquire(key(0, 1)).unwrap();
+        r.release(a);
+        r.release(b);
+        // All four acquires across both rounds succeed with only 2 slots.
+        assert!(r.acquire(key(1, 0)).is_some());
+        assert!(r.acquire(key(1, 1)).is_some());
+    }
+
+    #[test]
+    fn ordering_guard_blocks_cross_destination() {
+        let mut g = OrderingGuard::new();
+        assert!(g.may_issue(AxiId(3), 0));
+        g.issue(AxiId(3), 0);
+        assert!(g.may_issue(AxiId(3), 0));
+        assert!(!g.may_issue(AxiId(3), 1));
+        assert!(g.may_issue(AxiId(4), 1)); // different ID is free
+        g.complete(AxiId(3));
+        assert!(g.may_issue(AxiId(3), 1)); // drained → new destination ok
+    }
+
+    #[test]
+    fn ordering_guard_counts() {
+        let mut g = OrderingGuard::new();
+        g.issue(AxiId(0), 2);
+        g.issue(AxiId(0), 2);
+        g.issue(AxiId(1), 3);
+        assert_eq!(g.outstanding(), 3);
+        g.complete(AxiId(0));
+        assert_eq!(g.outstanding(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Splitting DMA transfers into AXI-compliant bursts.
+//!
+//! The paper's evaluation drives the NoC from DMA engines whose
+//! "workload-specific burst length is used ... to create AXI-compliant
+//! bursts (adhering to address boundaries and max number of beats)" (§IV).
+//! [`split_transfer`] implements that compliance step: an arbitrary
+//! `(address, length)` transfer becomes a sequence of `INCR` bursts, each at
+//! most 256 beats long and never crossing a 4 KiB boundary.
+
+use crate::burst::Burst;
+use crate::{BOUNDARY_4K, MAX_INCR_BEATS};
+
+/// Splits a byte transfer into AXI-compliant `INCR` bursts.
+///
+/// Properties guaranteed (and property-tested in `tests/`):
+///
+/// * payload bytes sum to `len`,
+/// * bursts are contiguous and ordered by address,
+/// * no burst crosses a 4 KiB boundary,
+/// * no burst exceeds 256 beats,
+/// * the minimal number of bursts under those rules is produced.
+///
+/// A zero-length transfer yields no bursts.
+///
+/// # Examples
+///
+/// ```
+/// use axi::split::split_transfer;
+///
+/// // 64 KiB on a 512-bit (64 B) bus: 4 bursts of 256 beats each
+/// // (16 KiB per burst would cross 4 KiB, so 4 KiB chunks → 16 bursts).
+/// let bursts = split_transfer(0, 65536, 64);
+/// assert_eq!(bursts.len(), 16);
+/// assert!(bursts.iter().all(|b| b.num_beats() == 64));
+/// ```
+#[must_use]
+pub fn split_transfer(addr: u64, len: u64, beat_bytes: u64) -> Vec<Burst> {
+    assert!(
+        (1..=128).contains(&beat_bytes) && beat_bytes.is_power_of_two(),
+        "invalid bus width"
+    );
+    let mut bursts = Vec::new();
+    let mut cur = addr;
+    let mut remaining = len;
+    while remaining > 0 {
+        // Limit 1: do not cross the next 4 KiB boundary.
+        let to_boundary = BOUNDARY_4K - cur % BOUNDARY_4K;
+        // Limit 2: at most 256 beats, accounting for a misaligned start.
+        let offset = cur % beat_bytes;
+        let max_burst_payload = MAX_INCR_BEATS * beat_bytes - offset;
+        let chunk = remaining.min(to_boundary).min(max_burst_payload);
+        let burst =
+            Burst::incr_covering(cur, chunk, beat_bytes).expect("split produced a legal burst");
+        debug_assert!(!burst.crosses_4k_boundary());
+        bursts.push(burst);
+        cur += chunk;
+        remaining -= chunk;
+    }
+    bursts
+}
+
+/// Splits a transfer with an additional user-imposed cap on the bytes per
+/// burst, as used by the paper's burst-length sweeps ("Burst size < 4",
+/// "< 100", ..., "< 64000"). `max_burst_bytes` is clamped to at least one
+/// byte.
+#[must_use]
+pub fn split_transfer_capped(
+    addr: u64,
+    len: u64,
+    beat_bytes: u64,
+    max_burst_bytes: u64,
+) -> Vec<Burst> {
+    let cap = max_burst_bytes.max(1);
+    let mut bursts = Vec::new();
+    let mut cur = addr;
+    let mut remaining = len;
+    while remaining > 0 {
+        let chunk = remaining.min(cap);
+        bursts.extend(split_transfer(cur, chunk, beat_bytes));
+        cur += chunk;
+        remaining -= chunk;
+    }
+    bursts
+}
+
+/// Total number of data beats needed for a transfer after splitting —
+/// cheaper than materializing the burst list when only accounting matters.
+#[must_use]
+pub fn transfer_beats(addr: u64, len: u64, beat_bytes: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let offset = addr % beat_bytes;
+    (offset + len).div_ceil(beat_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BurstType;
+
+    fn check_invariants(addr: u64, len: u64, _beat_bytes: u64, bursts: &[Burst]) {
+        let total: u64 = bursts.iter().map(Burst::payload_bytes).sum();
+        assert_eq!(total, len, "payload preserved");
+        let mut cur = addr;
+        for b in bursts {
+            assert_eq!(b.addr(), cur, "contiguous");
+            assert_eq!(b.burst_type(), BurstType::Incr);
+            assert!(b.num_beats() <= MAX_INCR_BEATS);
+            assert!(!b.crosses_4k_boundary(), "no 4k crossing at {:#x}", b.addr());
+            cur += b.payload_bytes();
+        }
+    }
+
+    #[test]
+    fn zero_length_yields_nothing() {
+        assert!(split_transfer(0x1000, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn small_aligned_transfer_is_one_burst() {
+        let bursts = split_transfer(0x1000, 64, 8);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].num_beats(), 8);
+        check_invariants(0x1000, 64, 8, &bursts);
+    }
+
+    #[test]
+    fn boundary_split() {
+        // 256 bytes starting 128 bytes before a 4 KiB boundary → 2 bursts.
+        let bursts = split_transfer(0x1F80, 256, 8);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].payload_bytes(), 128);
+        assert_eq!(bursts[1].addr(), 0x2000);
+        check_invariants(0x1F80, 256, 8, &bursts);
+    }
+
+    #[test]
+    fn beat_limit_split_on_narrow_bus() {
+        // 4 KiB on a 4-byte bus needs 1024 beats → 4 bursts of 256 beats.
+        let bursts = split_transfer(0, 4096, 4);
+        assert_eq!(bursts.len(), 4);
+        assert!(bursts.iter().all(|b| b.num_beats() == 256));
+        check_invariants(0, 4096, 4, &bursts);
+    }
+
+    #[test]
+    fn unaligned_start() {
+        let bursts = split_transfer(0x1003, 10_000, 8);
+        check_invariants(0x1003, 10_000, 8, &bursts);
+    }
+
+    #[test]
+    fn wide_bus_64k() {
+        // The paper's largest DMA burst length: 64 KB on the wide NoC.
+        let bursts = split_transfer(0, 64_000, 64);
+        check_invariants(0, 64_000, 64, &bursts);
+        // 4 KiB boundary dominates: 64 beats × 64 B = 4 KiB per burst.
+        assert_eq!(bursts[0].num_beats(), 64);
+    }
+
+    #[test]
+    fn capped_split_respects_cap() {
+        let bursts = split_transfer_capped(0, 1000, 4, 100);
+        check_invariants(0, 1000, 4, &bursts);
+        assert!(bursts.iter().all(|b| b.payload_bytes() <= 100));
+        assert_eq!(bursts.len(), 10);
+    }
+
+    #[test]
+    fn cap_of_zero_clamps_to_one_byte() {
+        let bursts = split_transfer_capped(0, 4, 4, 0);
+        assert_eq!(bursts.len(), 4);
+        check_invariants(0, 4, 4, &bursts);
+    }
+
+    #[test]
+    fn transfer_beats_matches_split() {
+        for &(addr, len, bb) in &[
+            (0u64, 4096u64, 4u64),
+            (0x103, 999, 8),
+            (0xFFF, 2, 64),
+            (7, 1, 4),
+        ] {
+            let split_total: u64 = split_transfer(addr, len, bb)
+                .iter()
+                .map(Burst::num_beats)
+                .sum();
+            assert_eq!(split_total, transfer_beats(addr, len, bb), "{addr:#x}+{len}");
+        }
+    }
+
+    #[test]
+    fn minimality_for_aligned_power_of_two() {
+        // 8 KiB aligned on a 64-B bus: exactly two 4 KiB bursts.
+        let bursts = split_transfer(0x4000, 8192, 64);
+        assert_eq!(bursts.len(), 2);
+    }
+}

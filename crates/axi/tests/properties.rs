@@ -1,0 +1,116 @@
+//! Property-based tests for the AXI protocol model.
+
+use axi::check::check_burst_sequence;
+use axi::split::{split_transfer, split_transfer_capped, transfer_beats};
+use axi::{AddressMap, Burst, BurstType};
+use proptest::prelude::*;
+
+fn bus_widths() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![1u64, 2, 4, 8, 16, 32, 64, 128])
+}
+
+proptest! {
+    /// Any transfer splits into a compliant, complete, contiguous covering.
+    #[test]
+    fn split_is_always_compliant(
+        addr in 0u64..0x1_0000_0000,
+        len in 0u64..200_000,
+        bb in bus_widths(),
+    ) {
+        let bursts = split_transfer(addr, len, bb);
+        let violations = check_burst_sequence(addr, len, &bursts);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// The capped splitter never emits a burst above the cap and still
+    /// covers the transfer exactly.
+    #[test]
+    fn capped_split_compliant_and_capped(
+        addr in 0u64..0x1000_0000,
+        len in 0u64..100_000,
+        bb in bus_widths(),
+        cap in 1u64..70_000,
+    ) {
+        let bursts = split_transfer_capped(addr, len, bb, cap);
+        prop_assert!(check_burst_sequence(addr, len, &bursts).is_empty());
+        prop_assert!(bursts.iter().all(|b| b.payload_bytes() <= cap));
+    }
+
+    /// Beat accounting shortcut agrees with materialized splitting when a
+    /// single burst spans the transfer (no boundary effects), and is a lower
+    /// bound in general (splitting can only add partial beats).
+    #[test]
+    fn transfer_beats_is_lower_bound(
+        addr in 0u64..0x1000_0000,
+        len in 1u64..100_000,
+        bb in bus_widths(),
+    ) {
+        let exact: u64 = split_transfer(addr, len, bb).iter().map(Burst::num_beats).sum();
+        let lower = transfer_beats(addr, len, bb);
+        prop_assert!(lower <= exact);
+        // They differ only by boundary-induced beat fragmentation: at most
+        // one extra beat per burst.
+        let n = split_transfer(addr, len, bb).len() as u64;
+        prop_assert!(exact <= lower + n);
+    }
+
+    /// Every beat address of an INCR burst stays within the burst's span and
+    /// increases monotonically.
+    #[test]
+    fn incr_beat_addresses_monotone(
+        addr in 0u64..0x1000_0000,
+        beats in 1u64..=256,
+        bb in bus_widths(),
+    ) {
+        let Ok(b) = Burst::new(addr, beats, bb, BurstType::Incr) else {
+            return Ok(());
+        };
+        let mut prev = None;
+        for i in 0..b.num_beats() {
+            let a = b.beat_addr(i);
+            if let Some(p) = prev {
+                prop_assert!(a > p);
+                prop_assert_eq!(a % bb, 0);
+            }
+            prev = Some(a);
+        }
+    }
+
+    /// Wrap bursts visit exactly the container's beat-aligned addresses.
+    #[test]
+    fn wrap_visits_whole_container(
+        slot in 0u64..1000,
+        beats in prop::sample::select(vec![2u64, 4, 8, 16]),
+        bb in bus_widths(),
+        start_beat in 0u64..16,
+    ) {
+        let container = beats * bb;
+        let base = slot * container;
+        let addr = base + (start_beat % beats) * bb;
+        let b = Burst::new(addr, beats, bb, BurstType::Wrap).unwrap();
+        let mut visited: Vec<u64> = (0..beats).map(|i| b.beat_addr(i)).collect();
+        visited.sort_unstable();
+        let expected: Vec<u64> = (0..beats).map(|i| base + i * bb).collect();
+        prop_assert_eq!(visited, expected);
+    }
+
+    /// Uniform address maps decode every in-range address to the right
+    /// endpoint and reject out-of-range addresses.
+    #[test]
+    fn uniform_map_decode_consistent(
+        n in 1usize..64,
+        log_size in 10u32..24,
+        probe in 0u64..(1u64 << 32),
+    ) {
+        let size = 1u64 << log_size;
+        let base = 0x8000_0000u64;
+        let map = AddressMap::uniform(n, size, base);
+        let decoded = map.decode(probe);
+        let expected = if probe >= base && probe < base + n as u64 * size {
+            Some(((probe - base) / size) as usize)
+        } else {
+            None
+        };
+        prop_assert_eq!(decoded, expected);
+    }
+}

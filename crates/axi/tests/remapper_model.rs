@@ -1,0 +1,81 @@
+//! Model-based property test of the ID remapper: against a reference
+//! implementation built on plain maps, for arbitrary acquire/release
+//! schedules.
+
+use axi::id::{AxiId, IdRemapper, SourceKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Acquire for (port, id).
+    Acquire(u8, u16),
+    /// Release the nth currently-live downstream ID (mod live count).
+    Release(usize),
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u16..8).prop_map(|(p, i)| Op::Acquire(p, i)),
+        (0usize..64).prop_map(Op::Release),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn remapper_matches_reference(
+        iw in 1u32..=4,
+        schedule in prop::collection::vec(ops(), 1..200),
+    ) {
+        let mut remap = IdRemapper::new(iw);
+        // Reference: key → (downstream id, inflight count).
+        let mut reference: HashMap<SourceKey, (AxiId, u32)> = HashMap::new();
+        // Multiset of live downstream ids with counts, ordered for Release.
+        let capacity = 1usize << iw;
+        for op in schedule {
+            match op {
+                Op::Acquire(port, id) => {
+                    let key = SourceKey { port, id: AxiId(id) };
+                    let expected_ok =
+                        reference.contains_key(&key) || reference.len() < capacity;
+                    prop_assert_eq!(remap.can_acquire(key), expected_ok);
+                    match remap.acquire(key) {
+                        Some(out) => {
+                            prop_assert!(expected_ok);
+                            prop_assert!((out.0 as usize) < capacity);
+                            let entry = reference.entry(key).or_insert((out, 0));
+                            // Same key must reuse the same downstream id.
+                            prop_assert_eq!(entry.0, out);
+                            entry.1 += 1;
+                            // Distinct keys must hold distinct ids.
+                            let distinct: std::collections::HashSet<u16> =
+                                reference.values().map(|(o, _)| o.0).collect();
+                            prop_assert_eq!(distinct.len(), reference.len());
+                            // Lookup agrees.
+                            prop_assert_eq!(remap.source_of(out), Some(key));
+                        }
+                        None => prop_assert!(!expected_ok),
+                    }
+                }
+                Op::Release(nth) => {
+                    if reference.is_empty() {
+                        continue;
+                    }
+                    let mut keys: Vec<SourceKey> = reference.keys().copied().collect();
+                    keys.sort_by_key(|k| (k.port, k.id));
+                    let key = keys[nth % keys.len()];
+                    let (out, count) = reference[&key];
+                    remap.release(out);
+                    if count == 1 {
+                        reference.remove(&key);
+                        prop_assert_eq!(remap.source_of(out), None);
+                    } else {
+                        reference.get_mut(&key).expect("live").1 -= 1;
+                        prop_assert_eq!(remap.source_of(out), Some(key));
+                    }
+                }
+            }
+            prop_assert_eq!(remap.in_use(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion benchmarks tracking simulator performance per figure workload.
+//!
+//! These measure the *simulators* (host cycles per simulated cycle), not the
+//! NoC: regressions here mean the table/figure harnesses get slower. One
+//! benchmark per paper-evaluation workload class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use axi::AxiParams;
+use packetnoc::{PacketNocConfig, PacketNocSim};
+use patronoc::{NocConfig, NocSim, Topology};
+use traffic::{
+    dnn::DnnConfig, DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic,
+    UniformConfig, UniformRandom,
+};
+
+const SIM_CYCLES: u64 = 5_000;
+
+fn uniform_cfg(dw: u32, max_transfer: u64) -> UniformConfig {
+    UniformConfig {
+        masters: 16,
+        slaves: (0..16).collect(),
+        load: 1.0,
+        bytes_per_cycle: f64::from(dw) / 8.0,
+        max_transfer,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed: 99,
+    }
+}
+
+fn bench_fig4_slim_uniform(c: &mut Criterion) {
+    c.bench_function("fig4_slim_uniform_5k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = NocSim::new(NocConfig::slim_4x4()).expect("valid");
+            let mut src = UniformRandom::new_copies(uniform_cfg(32, 1000));
+            black_box(sim.run(&mut src, SIM_CYCLES, 0))
+        });
+    });
+}
+
+fn bench_fig4_noxim_baseline(c: &mut Criterion) {
+    c.bench_function("fig4_noxim_highperf_5k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+            let mut src = UniformRandom::new(uniform_cfg(32, 100));
+            black_box(sim.run(&mut src, SIM_CYCLES, 0))
+        });
+    });
+}
+
+fn bench_fig6_wide_synthetic(c: &mut Criterion) {
+    c.bench_function("fig6_wide_2hop_5k_cycles", |b| {
+        b.iter(|| {
+            let axi = AxiParams::wide();
+            let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
+            cfg.slaves = SyntheticPattern::MaxTwoHop.slave_nodes(4, 4);
+            let mut sim = NocSim::new(cfg).expect("valid");
+            let mut src = SyntheticTraffic::new(SyntheticConfig {
+                cols: 4,
+                rows: 4,
+                pattern: SyntheticPattern::MaxTwoHop,
+                load: 1.0,
+                bytes_per_cycle: 64.0,
+                max_transfer: 10_000,
+                read_fraction: 0.5,
+                region_size: 1 << 24,
+                seed: 3,
+            });
+            black_box(sim.run(&mut src, SIM_CYCLES, 0))
+        });
+    });
+}
+
+fn bench_fig8_dnn_trace(c: &mut Criterion) {
+    c.bench_function("fig8_wide_pipeconv_trace", |b| {
+        b.iter(|| {
+            let mut sim = NocSim::new(NocConfig::wide_4x4()).expect("valid");
+            let mut src = DnnTraffic::new(&DnnConfig::for_workload(DnnWorkload::PipelinedConv));
+            black_box(sim.run(&mut src, 50_000_000, 0))
+        });
+    });
+}
+
+fn bench_routing_tables(c: &mut Criterion) {
+    c.bench_function("routing_table_generation_8x8", |b| {
+        b.iter(|| {
+            let topo = Topology::Mesh { cols: 8, rows: 8 };
+            for node in 0..64 {
+                black_box(patronoc::routing::routing_table(
+                    topo,
+                    patronoc::RoutingAlgorithm::YxDimensionOrder,
+                    node,
+                ));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig4_slim_uniform,
+        bench_fig4_noxim_baseline,
+        bench_fig6_wide_synthetic,
+        bench_fig8_dnn_trace,
+        bench_routing_tables,
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation studies on the design choices DESIGN.md calls out:
+//!
+//! * **MOT vs performance** — the paper motivates MOT ("a higher max.
+//!   number of outstanding transactions improves performance ... preventing
+//!   bandwidth degradation when the NoC is saturated", §II) but only shows
+//!   its *area* cost (Fig. 3 right); this sweep shows the throughput side.
+//! * **Register slices vs latency** — the Table I "cut" trades latency for
+//!   timing closure.
+//! * **XBAR connectivity** — partial (default) vs full wiring under YX
+//!   routing must not change behaviour (routing never uses the extra turns).
+//! * **Routing algorithm** — YX (paper default) vs XY.
+//! * **Topology** — the same XP building block as mesh, torus and ring.
+
+use axi::AxiParams;
+use patronoc::{Connectivity, NocConfig, NocSim, RoutingAlgorithm, Topology};
+use traffic::{UniformConfig, UniformRandom};
+
+fn run(cfg: NocConfig, load: f64, max_transfer: u64, window: u64) -> (f64, f64) {
+    let n = cfg.topology.num_nodes();
+    let dw = cfg.axi.data_width();
+    let mut sim = NocSim::new(cfg).expect("ablation configs are valid");
+    let mut src = UniformRandom::new_copies(UniformConfig {
+        masters: n,
+        slaves: (0..n).collect(),
+        load,
+        bytes_per_cycle: f64::from(dw) / 8.0,
+        max_transfer,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed: 0xAB1A,
+    });
+    let report = sim.run(&mut src, window + 20_000, 20_000);
+    (report.throughput_gib_s, report.mean_latency)
+}
+
+fn main() {
+    let quick = std::env::var_os("ABLATION_QUICK").is_some();
+    let window = if quick { 30_000 } else { 120_000 };
+
+    println!("Ablation 1 — MOT vs saturation throughput (slim 4x4)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "MOT", "<1000 B", "<64000 B", "lat@64000 (cyc)"
+    );
+    for mot in [1u32, 2, 4, 8, 16, 32] {
+        let axi = AxiParams::new(32, 32, 4, mot).expect("mot sweep");
+        let (thr_s, _) = run(NocConfig::new(axi, Topology::mesh4x4()), 1.0, 1000, window);
+        let (thr_l, lat) = run(NocConfig::new(axi, Topology::mesh4x4()), 1.0, 64_000, window);
+        println!("{mot:>6} {thr_s:>14.2} {thr_l:>14.2} {lat:>14.1}");
+    }
+
+    println!();
+    println!("Ablation 2 — register slices per channel vs latency (slim 4x4, light load)");
+    println!("{:>8} {:>14} {:>14}", "slices", "thr (GiB/s)", "mean lat (cyc)");
+    for stages in [1usize, 2, 4] {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.link_stages = stages;
+        let (thr, lat) = run(cfg, 0.05, 1000, window);
+        println!("{stages:>8} {thr:>14.2} {lat:>14.1}");
+    }
+
+    println!();
+    println!("Ablation 3 — XBAR connectivity (slim 4x4, burst<1000, max load)");
+    for (conn, name) in [(Connectivity::Partial, "partial"), (Connectivity::Full, "full")] {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.connectivity = conn;
+        let (thr, _) = run(cfg, 1.0, 1000, window);
+        println!("  {name:>8}: {thr:.2} GiB/s (must match: routing never uses extra turns)");
+    }
+
+    println!();
+    println!("Ablation 4 — routing algorithm (slim 4x4, burst<1000, max load)");
+    for (algo, name) in [
+        (RoutingAlgorithm::YxDimensionOrder, "YX"),
+        (RoutingAlgorithm::XyDimensionOrder, "XY"),
+    ] {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.algorithm = algo;
+        let (thr, _) = run(cfg, 1.0, 1000, window);
+        println!("  {name:>4}: {thr:.2} GiB/s");
+    }
+
+    println!();
+    println!("Ablation 5 — topology from the same building blocks (DW=32, 16 nodes equiv.)");
+    for topo in [
+        Topology::mesh4x4(),
+        Topology::Torus { cols: 4, rows: 4 },
+        Topology::Ring { nodes: 16 },
+    ] {
+        let (thr, lat) = run(
+            NocConfig::new(AxiParams::slim(), topo),
+            1.0,
+            1000,
+            window,
+        );
+        println!("  {topo}: {thr:.2} GiB/s, mean latency {lat:.1} cyc");
+    }
+}

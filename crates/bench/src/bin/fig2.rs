@@ -1,0 +1,59 @@
+//! Regenerates **Fig. 2**: area vs bisection bandwidth of the 2×2 mesh —
+//! PATRONoC configurations `AXI_AW_DW_2` against ESP-NoC (32/64-bit flits),
+//! plus the area-efficiency comparison (the "34 % higher area efficiency"
+//! headline).
+
+use axi::AxiParams;
+use patronoc::Topology;
+use physical::{area_efficiency, bisection_bandwidth_gbps, AreaModel, BisectionCounting, EspNoc};
+
+fn main() {
+    let model = AreaModel::calibrated();
+    let topo = Topology::mesh2x2();
+    println!("Fig. 2 — 2x2 mesh: area vs bisection bandwidth (one-way counting, 1 GHz)");
+    println!("{:>16} {:>12} {:>16} {:>18}", "config", "area (kGE)", "bisection (Gb/s)", "efficiency (Gb/s/kGE)");
+    let configs = [
+        (32, 32),
+        (32, 64),
+        (32, 128),
+        (32, 512),
+        (64, 64),
+        (64, 128),
+    ];
+    for (aw, dw) in configs {
+        let axi = AxiParams::new(aw, dw, 2, 1).expect("fig2 sweep params are valid");
+        let area = model.mesh_area_kge(topo, axi);
+        let bw = bisection_bandwidth_gbps(topo, dw, BisectionCounting::OneWay);
+        println!(
+            "{:>16} {:>12.1} {:>16.0} {:>18.3}",
+            axi.label(),
+            area,
+            bw,
+            area_efficiency(bw, area)
+        );
+    }
+    for esp in [EspNoc::flit32(), EspNoc::flit64()] {
+        println!(
+            "{:>16} {:>12.1} {:>16.0} {:>18.3}",
+            format!("ESP-NoC ({}b)", esp.flit_bits),
+            esp.area_kge_2x2(&model),
+            esp.bandwidth_gbps(),
+            esp.area_efficiency_2x2(&model)
+        );
+    }
+    // Headline claims.
+    let axi_ref = AxiParams::new(32, 64, 2, 1).expect("reference config");
+    let axi_area = model.mesh_area_kge(topo, axi_ref);
+    let axi_bw = bisection_bandwidth_gbps(topo, 64, BisectionCounting::OneWay);
+    let esp = EspNoc::flit32();
+    println!();
+    println!(
+        "ESP-NoC (32b) vs AXI_32_64_2: {:+.0} % area for {:+.0} % bandwidth",
+        100.0 * (esp.area_kge_2x2(&model) / axi_area - 1.0),
+        100.0 * (esp.bandwidth_gbps() / axi_bw - 1.0),
+    );
+    println!(
+        "PATRONoC area-efficiency gain vs ESP-NoC (32b): {:+.1} %  (paper: ≈ +34 %)",
+        100.0 * (area_efficiency(axi_bw, axi_area) / esp.area_efficiency_2x2(&model) - 1.0)
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Fig. 3**: (left) area vs bisection bandwidth of the 4×4
+//! mesh (`AXI_AW_DW_4` configurations); (right) area vs maximum outstanding
+//! transactions for DW = 64; plus the scaling commentary of §III.
+
+use axi::AxiParams;
+use patronoc::Topology;
+use physical::{area_efficiency, bisection_bandwidth_gbps, AreaModel, BisectionCounting};
+
+fn main() {
+    let model = AreaModel::calibrated();
+    let topo = Topology::mesh4x4();
+    println!("Fig. 3 (left) — 4x4 mesh: area vs bisection bandwidth (one-way, 1 GHz)");
+    println!("{:>16} {:>12} {:>16}", "config", "area (kGE)", "bisection (Gb/s)");
+    for (aw, dw) in [(32, 32), (32, 64), (32, 128), (32, 512), (64, 64)] {
+        let axi = AxiParams::new(aw, dw, 4, 1).expect("fig3 sweep params are valid");
+        println!(
+            "{:>16} {:>12.1} {:>16.0}",
+            axi.label(),
+            model.mesh_area_kge(topo, axi),
+            bisection_bandwidth_gbps(topo, dw, BisectionCounting::OneWay)
+        );
+    }
+
+    println!();
+    println!("Fig. 3 (right) — 4x4, DW = 64: area vs MOT");
+    println!("{:>6} {:>12}", "MOT", "area (kGE)");
+    for mot in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+        let axi = AxiParams::new(32, 64, 4, mot).expect("mot sweep params are valid");
+        println!("{:>6} {:>12.1}", mot, model.mesh_area_kge(topo, axi));
+    }
+
+    // Scaling commentary: 4×4 vs 2×2 at the same AW/DW.
+    println!();
+    let small = Topology::mesh2x2();
+    let axi_2x2 = AxiParams::new(32, 64, 2, 1).expect("2x2 reference");
+    let axi_4x4 = AxiParams::new(32, 64, 4, 1).expect("4x4 reference");
+    let a2 = model.mesh_area_kge(small, axi_2x2);
+    let a4 = model.mesh_area_kge(topo, axi_4x4);
+    let e2 = area_efficiency(
+        bisection_bandwidth_gbps(small, 64, BisectionCounting::OneWay),
+        a2,
+    );
+    let e4 = area_efficiency(
+        bisection_bandwidth_gbps(topo, 64, BisectionCounting::OneWay),
+        a4,
+    );
+    println!("2x2 AXI_32_64_2: {a2:.0} kGE, efficiency {e2:.3}");
+    println!("4x4 AXI_32_64_4: {a4:.0} kGE, efficiency {e4:.3}");
+    println!(
+        "area ratio 4x4/2x2: {:.2}x; area-efficiency change: {:+.1} % (paper: ≈ −25 %)",
+        a4 / a2,
+        100.0 * (e4 / e2 - 1.0)
+    );
+    // The paper's −25 % is consistent with mixing counting conventions
+    // (one-way for the 2×2 of Fig. 2, both-ways for the 4×4 as in §IV):
+    let e4_both = area_efficiency(
+        bisection_bandwidth_gbps(topo, 64, BisectionCounting::BothWays),
+        a4,
+    );
+    println!(
+        "with §IV both-ways counting for the 4x4: {:+.1} %",
+        100.0 * (e4_both / e2 - 1.0)
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 6**: NoC utilization at maximum injected load for the
+//! three synthetic patterns of Fig. 5 (all-global / max-2-hop /
+//! max-1-hop) on the slim and wide 4×4 PATRONoC, across five DMA burst
+//! caps. Utilization is relative to the both-ways bisection bandwidth
+//! (32 GiB/s slim, 512 GiB/s wide in the paper's rounding).
+
+use bench::defaults::{BURST_CAPS, WARMUP, WINDOW};
+use bench::synthetic_point;
+use traffic::SyntheticPattern;
+
+fn main() {
+    let quick = std::env::var_os("FIG6_QUICK").is_some();
+    let (window, warmup) = if quick { (30_000, 6_000) } else { (WINDOW, WARMUP) };
+    let patterns = [
+        (SyntheticPattern::AllGlobal, "All Global Access"),
+        (SyntheticPattern::MaxTwoHop, "Max 2 Hop Access"),
+        (SyntheticPattern::MaxSingleHop, "Max 1 Hop Access"),
+    ];
+    for (dw, name) in [(32u32, "Slim"), (512, "Wide")] {
+        for (pattern, pname) in patterns {
+            println!("{name} NoC: {pname} (DW = {dw})");
+            println!(
+                "{:>14} {:>14} {:>16}",
+                "burst cap (B)", "thr (GiB/s)", "utilization (%)"
+            );
+            for cap in BURST_CAPS {
+                let p = synthetic_point(dw, pattern, cap, window, warmup);
+                println!(
+                    "{:>14} {:>14.2} {:>16.2}",
+                    p.burst_cap, p.gib_s, p.utilization_pct
+                );
+            }
+            println!();
+        }
+    }
+    println!("paper (max-burst bars): slim 18.75 / 53.75 / 70.30 %, wide 18.55 / 49.80 / 67.40 %");
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 8**: aggregate throughput of the slim and wide 4×4
+//! PATRONoC under the three DNN workload traces of Fig. 7 (distributed
+//! training, layer-parallel convolution, pipelined convolution).
+
+use bench::dnn_point;
+use traffic::DnnWorkload;
+
+fn main() {
+    let quick = std::env::var_os("FIG8_QUICK").is_some();
+    let steps = if quick { 1 } else { 2 };
+    println!("Fig. 8 — DNN workload traffic on the 4x4 PATRONoC (GiB/s)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "NoC", "workload", "thr (GiB/s)", "trace bytes", "cycles"
+    );
+    for (dw, name) in [(32u32, "Slim"), (512, "Wide")] {
+        for wl in DnnWorkload::all() {
+            let p = dnn_point(dw, wl, steps);
+            println!(
+                "{name:>10} {:>12} {:>12.2} {:>14} {:>12}",
+                wl.name(),
+                p.gib_s,
+                p.bytes,
+                p.cycles
+            );
+        }
+    }
+    println!();
+    println!("paper: slim 5.18 / 4.27 / 19.17; wide 83.1 / 68.5 / 310.7 (Train / Par / Pipe)");
+}

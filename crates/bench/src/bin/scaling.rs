@@ -1,0 +1,56 @@
+//! Mesh-size scaling study (paper §VI future work: "explore different NoC
+//! topologies which might be suited for emerging DNN platforms").
+//!
+//! Sweeps the mesh from 2×2 to 8×8 at DW = 64 and reports: modelled area,
+//! bisection bandwidth, measured uniform-random saturation throughput,
+//! per-node throughput and the hottest link's data-channel occupancy —
+//! showing how dimension-ordered meshes lose per-node bandwidth as they
+//! grow (the reason the paper floats CMesh/torus variants).
+
+use axi::AxiParams;
+use patronoc::{NocConfig, NocSim, Topology};
+use physical::{bisection::bisection_bandwidth_gib_s, AreaModel, BisectionCounting};
+use traffic::{UniformConfig, UniformRandom};
+
+fn main() {
+    let quick = std::env::var_os("SCALING_QUICK").is_some();
+    let window = if quick { 30_000 } else { 120_000 };
+    let model = AreaModel::calibrated();
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12}",
+        "mesh", "area (kGE)", "bisect (GiB/s)", "thr (GiB/s)", "per-node", "peak link"
+    );
+    for dim in [2usize, 3, 4, 6, 8] {
+        let topo = Topology::Mesh {
+            cols: dim,
+            rows: dim,
+        };
+        let n = topo.num_nodes();
+        let axi = AxiParams::new(32, 64, 4, 8).expect("scaling sweep params");
+        let area = model.mesh_area_kge(topo, axi);
+        let bisection = bisection_bandwidth_gib_s(topo, 64, BisectionCounting::BothWays);
+        let mut sim = NocSim::new(NocConfig::new(axi, topo)).expect("valid config");
+        let mut src = UniformRandom::new_copies(UniformConfig {
+            masters: n,
+            slaves: (0..n).collect(),
+            load: 1.0,
+            bytes_per_cycle: 8.0,
+            max_transfer: 4096,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed: 21,
+        });
+        let report = sim.run(&mut src, window + 20_000, 20_000);
+        println!(
+            "{:>8} {:>12.0} {:>14.1} {:>14.2} {:>14.3} {:>11.1}%",
+            format!("{dim}x{dim}"),
+            area,
+            bisection,
+            report.throughput_gib_s,
+            report.throughput_gib_s / n as f64,
+            100.0 * sim.peak_link_occupancy()
+        );
+    }
+    println!();
+    println!("Uniform random copies, DW = 64, MOT = 8, bursts ≤ 4 KiB, load 1.0.");
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table II**: the comparison of PATRONoC against
+//! state-of-the-art NoCs in SoCs. The literature rows are transcribed from
+//! the paper; the PATRONoC row's NoC bandwidth is *computed* from this
+//! repository's model (4×4 mesh bisection at 1 GHz, one-way counting, at
+//! the DW = 512 evaluation point ≈ 2 Tb/s; the paper rounds its best
+//! configuration to 2700 Gb/s with wider links at the endpoints).
+
+use patronoc::Topology;
+use physical::{bisection_bandwidth_gbps, BisectionCounting};
+
+struct Row {
+    work: &'static str,
+    open_source: &'static str,
+    full_axi: &'static str,
+    burst: &'static str,
+    configurable: &'static str,
+    bw_gbps: &'static str,
+}
+
+fn main() {
+    let rows = [
+        Row { work: "SpiNNaker", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "5 (async)" },
+        Row { work: "Reza et al.", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "4000" },
+        Row { work: "MCM", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "35" },
+        Row { work: "MC-NoC", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "2368" },
+        Row { work: "NeuNoC", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "-" },
+        Row { work: "TETRIS", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "-" },
+        Row { work: "PUMA", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "-" },
+        Row { work: "OpenSoC", open_source: "yes", full_axi: "no (AXI-Lite)", burst: "no", configurable: "yes", bw_gbps: "-" },
+        Row { work: "ESP-SoC", open_source: "yes", full_axi: "no", burst: "no", configurable: "limited", bw_gbps: "351" },
+        Row { work: "Celerity", open_source: "yes", full_axi: "no", burst: "no", configurable: "limited", bw_gbps: "80" },
+        Row { work: "FlexNoC", open_source: "no", full_axi: "no", burst: "no", configurable: "-", bw_gbps: "-" },
+        Row { work: "Constellation", open_source: "yes", full_axi: "no", burst: "no", configurable: "yes", bw_gbps: "-" },
+        Row { work: "Kurth et al. [9]", open_source: "yes", full_axi: "yes", burst: "yes", configurable: "yes", bw_gbps: "2146" },
+    ];
+    println!("Table II — comparison with state-of-the-art NoCs (NoC-BW normalized to 1 GHz)");
+    println!(
+        "{:<18} {:<8} {:<14} {:<8} {:<12} {:>12}",
+        "Work", "Open", "Full AXI", "Burst", "Config.", "NoC-BW (Gb/s)"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:<8} {:<14} {:<8} {:<12} {:>12}",
+            r.work, r.open_source, r.full_axi, r.burst, r.configurable, r.bw_gbps
+        );
+    }
+    // PATRONoC's row, computed from the model.
+    let bw = bisection_bandwidth_gbps(Topology::mesh4x4(), 512, BisectionCounting::OneWay);
+    println!(
+        "{:<18} {:<8} {:<14} {:<8} {:<12} {:>12.0}",
+        "PATRONoC (this)", "yes", "yes", "yes", "yes", bw
+    );
+    println!();
+    println!(
+        "PATRONoC 4x4 DW=512 bisection: {bw:.0} Gb/s one-way, {:.0} Gb/s both-ways (paper row: 2700)",
+        bisection_bandwidth_gbps(Topology::mesh4x4(), 512, BisectionCounting::BothWays)
+    );
+}

@@ -1,0 +1,284 @@
+//! Shared experiment runners for the PATRONoC benchmark harness.
+//!
+//! Each `bin/` target regenerates one table or figure of the paper; the
+//! heavy lifting lives here so the integration tests can exercise the same
+//! code paths with reduced cycle budgets.
+
+use axi::AxiParams;
+use packetnoc::{PacketNocConfig, PacketNocSim};
+use patronoc::{NocConfig, NocSim, Topology};
+use traffic::{
+    TrafficSource,
+    DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic, UniformConfig,
+    UniformRandom,
+};
+
+pub mod defaults {
+    //! Free parameters of the evaluation, fixed once and recorded in
+    //! EXPERIMENTS.md.
+
+    /// Warm-up cycles excluded from throughput windows.
+    pub const WARMUP: u64 = 20_000;
+    /// Measurement window in cycles.
+    pub const WINDOW: u64 = 200_000;
+    /// Baseline RNG seed (per-point seeds derive from it).
+    pub const SEED: u64 = 0xB0C5;
+    /// The burst-length sweep of Fig. 4 and Fig. 6.
+    pub const BURST_CAPS: [u64; 5] = [4, 100, 1_000, 10_000, 64_000];
+    /// The injected-load sweep of Fig. 4 (log-spaced like the paper's axis).
+    pub const LOADS: [f64; 13] = [
+        0.0001, 0.000_3, 0.001, 0.003, 0.01, 0.03, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0,
+    ];
+}
+
+/// One measured point: injected load vs throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPoint {
+    /// Offered load (fraction of one bus width per cycle per master).
+    pub load: f64,
+    /// Measured aggregate throughput in GiB/s.
+    pub gib_s: f64,
+}
+
+fn uniform_cfg(dw_bits: u32, load: f64, max_transfer: u64, seed: u64) -> UniformConfig {
+    UniformConfig {
+        masters: 16,
+        slaves: (0..16).collect(),
+        load,
+        bytes_per_cycle: f64::from(dw_bits) / 8.0,
+        max_transfer,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed,
+    }
+}
+
+/// Runs the 4×4 PATRONoC under uniform random traffic (one Fig. 4 point).
+///
+/// Transfers are memory-to-memory *copies* ("a random burst length with a
+/// random source and destination address", §IV): the payload crosses the
+/// NoC twice and is counted once, at the destination.
+#[must_use]
+pub fn patronoc_uniform_point(
+    dw_bits: u32,
+    load: f64,
+    max_transfer: u64,
+    window: u64,
+    warmup: u64,
+    seed: u64,
+) -> f64 {
+    let axi = AxiParams::new(32, dw_bits, 4, 8).expect("valid sweep parameters");
+    let cfg = NocConfig::new(axi, Topology::mesh4x4());
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let mut src = UniformRandom::new_copies(uniform_cfg(dw_bits, load, max_transfer, seed));
+    sim.run(&mut src, warmup + window, warmup).throughput_gib_s
+}
+
+/// Runs the Noxim-style baseline under the same uniform random traffic.
+/// The baseline has no burst support: transfer length only affects how many
+/// fixed packets the NI emits.
+#[must_use]
+pub fn noxim_uniform_point(
+    cfg: PacketNocConfig,
+    load: f64,
+    max_transfer: u64,
+    window: u64,
+    warmup: u64,
+    seed: u64,
+) -> f64 {
+    let flit_bits = cfg.flit_bytes * 8;
+    let mut sim = PacketNocSim::new(cfg);
+    let mut src = UniformRandom::new(uniform_cfg(flit_bits, load, max_transfer, seed));
+    sim.run(&mut src, warmup + window, warmup).throughput_gib_s
+}
+
+/// Sweeps injected load for PATRONoC at one burst cap (one Fig. 4 curve).
+#[must_use]
+pub fn patronoc_uniform_curve(
+    dw_bits: u32,
+    max_transfer: u64,
+    loads: &[f64],
+    window: u64,
+    warmup: u64,
+) -> Vec<LoadPoint> {
+    loads
+        .iter()
+        .map(|&load| LoadPoint {
+            load,
+            gib_s: patronoc_uniform_point(
+                dw_bits,
+                load,
+                max_transfer,
+                window,
+                warmup,
+                defaults::SEED ^ max_transfer,
+            ),
+        })
+        .collect()
+}
+
+/// Result of one synthetic-pattern run (one Fig. 6 bar).
+#[derive(Debug, Clone, Copy)]
+pub struct UtilizationPoint {
+    /// DMA burst cap in bytes.
+    pub burst_cap: u64,
+    /// Aggregate throughput in GiB/s.
+    pub gib_s: f64,
+    /// Utilization vs the both-ways bisection bandwidth (percent).
+    pub utilization_pct: f64,
+}
+
+/// Runs one synthetic pattern at maximum injected load (Fig. 6).
+#[must_use]
+pub fn synthetic_point(
+    dw_bits: u32,
+    pattern: SyntheticPattern,
+    burst_cap: u64,
+    window: u64,
+    warmup: u64,
+) -> UtilizationPoint {
+    let axi = AxiParams::new(32, dw_bits, 4, 8).expect("valid sweep parameters");
+    let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
+    // Slaves only where the pattern places them.
+    cfg.slaves = pattern.slave_nodes(4, 4);
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let mut src = SyntheticTraffic::new(SyntheticConfig {
+        cols: 4,
+        rows: 4,
+        pattern,
+        load: 1.0,
+        bytes_per_cycle: f64::from(dw_bits) / 8.0,
+        max_transfer: burst_cap,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed: defaults::SEED ^ burst_cap,
+    });
+    let report = sim.run(&mut src, warmup + window, warmup);
+    let bisection_gib = physical::bisection::bisection_bandwidth_gib_s(
+        Topology::mesh4x4(),
+        dw_bits,
+        physical::BisectionCounting::BothWays,
+    );
+    UtilizationPoint {
+        burst_cap,
+        gib_s: report.throughput_gib_s,
+        utilization_pct: 100.0 * report.throughput_gib_s / bisection_gib,
+    }
+}
+
+/// Result of one DNN workload run (one Fig. 8 bar).
+#[derive(Debug, Clone, Copy)]
+pub struct DnnPoint {
+    /// The workload.
+    pub workload: DnnWorkload,
+    /// Aggregate throughput in GiB/s over the trace's execution.
+    pub gib_s: f64,
+    /// Total bytes the trace moved.
+    pub bytes: u64,
+    /// Cycles the trace took.
+    pub cycles: u64,
+}
+
+/// Runs one DNN workload trace to completion on the 4×4 mesh (Fig. 8).
+#[must_use]
+pub fn dnn_point(dw_bits: u32, workload: DnnWorkload, steps: usize) -> DnnPoint {
+    let axi = AxiParams::new(32, dw_bits, 4, 8).expect("valid sweep parameters");
+    let cfg = NocConfig::new(axi, Topology::mesh4x4());
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let dnn_cfg = traffic::dnn::DnnConfig {
+        steps,
+        ..traffic::dnn::DnnConfig::for_workload(workload)
+    };
+    let mut src = DnnTraffic::new(&dnn_cfg);
+    let total = src.total_bytes();
+    let report = sim.run(&mut src, 500_000_000, 0);
+    assert!(
+        src.is_done(),
+        "trace did not finish within the cycle budget"
+    );
+    DnnPoint {
+        workload,
+        gib_s: report.throughput_gib_s,
+        bytes: total,
+        cycles: report.cycles,
+    }
+}
+
+/// Formats a GiB/s value the way the paper's plots label them.
+#[must_use]
+pub fn fmt_gib(v: f64) -> String {
+    format!("{v:8.2} GiB/s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK_WINDOW: u64 = 20_000;
+    const QUICK_WARMUP: u64 = 4_000;
+
+    #[test]
+    fn slim_small_bursts_match_noxim_scale() {
+        // Fig. 4 crossover: at ≤4 B bursts, PATRONoC ≈ Noxim ≈ 1.5–2.3 GiB/s.
+        let patronoc = patronoc_uniform_point(32, 1.0, 4, QUICK_WINDOW, QUICK_WARMUP, 1);
+        let noxim = noxim_uniform_point(
+            PacketNocConfig::noxim_compact(),
+            1.0,
+            4,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+            1,
+        );
+        assert!(
+            (0.5..6.0).contains(&patronoc),
+            "patronoc small-burst {patronoc}"
+        );
+        assert!((0.5..6.0).contains(&noxim), "noxim {noxim}");
+        assert!(
+            patronoc / noxim < 4.0 && noxim / patronoc < 4.0,
+            "crossover: patronoc {patronoc} vs noxim {noxim}"
+        );
+    }
+
+    #[test]
+    fn slim_large_bursts_beat_noxim_severalfold() {
+        // Fig. 4 headline: ≥8× at 10–64 KiB bursts.
+        let patronoc = patronoc_uniform_point(32, 1.0, 10_000, QUICK_WINDOW, QUICK_WARMUP, 2);
+        let noxim = noxim_uniform_point(
+            PacketNocConfig::noxim_high_performance(),
+            1.0,
+            10_000,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+            2,
+        );
+        assert!(
+            patronoc > 4.0 * noxim,
+            "patronoc {patronoc} vs noxim {noxim}"
+        );
+    }
+
+    #[test]
+    fn throughput_increases_with_load_then_saturates() {
+        let lo = patronoc_uniform_point(32, 0.01, 1000, QUICK_WINDOW, QUICK_WARMUP, 3);
+        let mid = patronoc_uniform_point(32, 0.2, 1000, QUICK_WINDOW, QUICK_WARMUP, 3);
+        let hi = patronoc_uniform_point(32, 1.0, 1000, QUICK_WINDOW, QUICK_WARMUP, 3);
+        assert!(lo < mid, "lo {lo} mid {mid}");
+        assert!(mid <= hi * 1.2, "mid {mid} hi {hi}");
+    }
+
+    #[test]
+    fn synthetic_ordering_matches_fig6() {
+        // 1-hop > 2-hop > all-global at large bursts.
+        let global = synthetic_point(32, SyntheticPattern::AllGlobal, 10_000, QUICK_WINDOW, QUICK_WARMUP);
+        let two = synthetic_point(32, SyntheticPattern::MaxTwoHop, 10_000, QUICK_WINDOW, QUICK_WARMUP);
+        let one = synthetic_point(32, SyntheticPattern::MaxSingleHop, 10_000, QUICK_WINDOW, QUICK_WARMUP);
+        assert!(
+            one.gib_s > two.gib_s && two.gib_s > global.gib_s,
+            "1hop {} 2hop {} global {}",
+            one.gib_s,
+            two.gib_s,
+            global.gib_s
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! NoC instance configuration (paper Table I plus testbench knobs).
+
+use crate::routing::{Connectivity, RoutingAlgorithm};
+use crate::topology::Topology;
+use axi::{AxiParams, ConfigError};
+
+/// Configuration of one PATRONoC instance plus its evaluation testbench.
+///
+/// The AXI parameters and topology correspond to the paper's design-time
+/// parameters (Table I); the remaining fields configure the endpoints of the
+/// evaluation framework (§IV): DMA programming cost, memory latency and the
+/// placement of masters and slaves.
+///
+/// # Examples
+///
+/// ```
+/// use patronoc::{NocConfig, Topology};
+/// use axi::AxiParams;
+///
+/// // The paper's wide NoC on the 4×4 mesh.
+/// let cfg = NocConfig::new(AxiParams::wide(), Topology::mesh4x4());
+/// cfg.validate()?;
+/// # Ok::<(), axi::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NocConfig {
+    /// AXI interface parameters (AW/DW/IW/MOT).
+    pub axi: AxiParams,
+    /// NoC topology.
+    pub topology: Topology,
+    /// Routing algorithm for table generation (default: YX).
+    pub algorithm: RoutingAlgorithm,
+    /// XBAR connectivity (Table I; default: partial).
+    pub connectivity: Connectivity,
+    /// Register slices per channel per link (default 1 = "all channels").
+    pub link_stages: usize,
+    /// Memory-slave pipeline latency in cycles.
+    pub mem_latency: u32,
+    /// Maximum outstanding transactions a memory slave accepts.
+    pub slave_outstanding: u32,
+    /// DMA per-descriptor programming cost in cycles.
+    pub dma_setup_cycles: u32,
+    /// Address-region bytes owned by each endpoint.
+    pub region_size: u64,
+    /// Nodes hosting DMA masters (default: all).
+    pub masters: Vec<usize>,
+    /// Nodes hosting memory slaves (default: all).
+    pub slaves: Vec<usize>,
+}
+
+impl NocConfig {
+    /// Creates a configuration with the evaluation defaults: masters and
+    /// slaves at every node, one register slice on every channel, 2-cycle
+    /// DMA setup, 5-cycle memory latency.
+    #[must_use]
+    pub fn new(axi: AxiParams, topology: Topology) -> Self {
+        let n = topology.num_nodes();
+        Self {
+            axi,
+            topology,
+            algorithm: RoutingAlgorithm::default(),
+            connectivity: Connectivity::default(),
+            link_stages: 1,
+            mem_latency: 5,
+            slave_outstanding: 64,
+            dma_setup_cycles: 2,
+            region_size: 1 << 24,
+            masters: (0..n).collect(),
+            slaves: (0..n).collect(),
+        }
+    }
+
+    /// The paper's slim 4×4 evaluation instance (DW = 32, MOT = 8).
+    #[must_use]
+    pub fn slim_4x4() -> Self {
+        Self::new(AxiParams::slim(), Topology::mesh4x4())
+    }
+
+    /// The paper's wide 4×4 evaluation instance (DW = 512, MOT = 8).
+    #[must_use]
+    pub fn wide_4x4() -> Self {
+        Self::new(AxiParams::wide(), Topology::mesh4x4())
+    }
+
+    /// Validates the configuration against Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid AXI parameters, endpoint counts
+    /// exceeding the topology capacity, or out-of-range endpoint nodes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // Re-validate AXI parameters (AxiParams is always-valid by
+        // construction, but this keeps the contract explicit).
+        AxiParams::new(
+            self.axi.addr_width(),
+            self.axi.data_width(),
+            self.axi.id_width(),
+            self.axi.max_outstanding(),
+        )?;
+        let capacity = self.topology.num_nodes();
+        for set in [&self.masters, &self.slaves] {
+            if set.is_empty() || set.len() > capacity {
+                return Err(ConfigError::EndpointCount {
+                    requested: set.len(),
+                    capacity,
+                });
+            }
+            if set.iter().any(|&n| n >= capacity) {
+                return Err(ConfigError::EndpointCount {
+                    requested: set.len(),
+                    capacity,
+                });
+            }
+        }
+        if self.link_stages == 0 || self.region_size == 0 {
+            return Err(ConfigError::EndpointCount {
+                requested: 0,
+                capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// The bytes one beat carries.
+    #[must_use]
+    pub fn bytes_per_beat(&self) -> u64 {
+        self.axi.bytes_per_beat()
+    }
+
+    /// Base address of an endpoint's region (regions are assigned uniformly
+    /// by node index above `0x8000_0000`).
+    #[must_use]
+    pub fn region_base(&self, node: usize) -> u64 {
+        Self::ADDR_BASE + node as u64 * self.region_size
+    }
+
+    /// Start of the memory-mapped endpoint space.
+    pub const ADDR_BASE: u64 = 0x8000_0000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(NocConfig::slim_4x4().validate().is_ok());
+        assert!(NocConfig::wide_4x4().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoints() {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.masters = vec![16];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_endpoint_sets() {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.slaves.clear();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_stage_links() {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.link_stages = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn region_bases_are_disjoint() {
+        let cfg = NocConfig::slim_4x4();
+        for n in 0..15 {
+            assert_eq!(
+                cfg.region_base(n) + cfg.region_size,
+                cfg.region_base(n + 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,708 @@
+//! NoC endpoints: the DMA-engine master and the AXI memory slave.
+//!
+//! "Each master is a DMA engine, and the slaves are AXI-capable memories
+//! that cater to the DMA requests. The configurable and workload-specific
+//! maximum burst length is used by the RTL model of the DMA engine to
+//! create AXI-compliant bursts (adhering to address boundaries and max
+//! number of beats)" (paper §IV).
+
+use crate::link::{AxiLink, DataBeat, ReqBeat, RespBeat};
+use axi::id::OrderingGuard;
+use axi::split::split_transfer;
+use axi::{AxiId, AxiParams, Burst};
+use simkit::{Cycle, Histogram, ThroughputMeter};
+use std::collections::VecDeque;
+use traffic::{Transfer, TransferKind};
+
+/// A transfer whose destination address has been resolved by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedTransfer {
+    /// The original descriptor.
+    pub transfer: Transfer,
+    /// Absolute destination start address (region base + offset).
+    pub addr: u64,
+    /// Absolute source address for copies (`None` for one-sided transfers).
+    pub src_addr: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTransfer {
+    transfer: Transfer,
+    issued_at: Cycle,
+    /// AR bursts to issue (reads and the read leg of copies).
+    read_bursts: VecDeque<Burst>,
+    /// AW bursts to issue (writes and the write leg of copies).
+    write_bursts: VecDeque<Burst>,
+    /// Streaming buffer for copies: received bytes not yet emitted as W
+    /// beats. `None` for one-sided writes (data is local, always ready).
+    buffer_bytes: Option<u64>,
+    /// Node the read leg targets (`dst` for reads, `src` for copies).
+    read_dst: usize,
+    /// Bursts still awaiting their B (write) or last R (read).
+    resp_pending: u32,
+}
+
+#[derive(Debug, Clone)]
+struct WStream {
+    beats_left: u16,
+    bytes_left: u32,
+    txn: u64,
+}
+
+/// The DMA-engine master endpoint.
+///
+/// Processes transfer descriptors serially (a real DMA is programmed per
+/// transfer and raises a completion interrupt before the next one starts,
+/// costing `setup_cycles`), but pipelines up to MOT AXI bursts *within* a
+/// transfer — exactly the structure that makes large DMA bursts efficient
+/// and tiny transfers latency-bound, which is the effect Fig. 4 measures.
+///
+/// [`TransferKind::Copy`] transfers stream: read bursts fetch from the
+/// source while write bursts push received data to the destination, with
+/// independent outstanding budgets on the read and write legs (AXI read and
+/// write IDs are separate spaces, and sharing one budget could starve the
+/// read leg that feeds the writes).
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    node: usize,
+    link: usize,
+    params: AxiParams,
+    setup_cycles: u32,
+    queue: VecDeque<ResolvedTransfer>,
+    active: Option<ActiveTransfer>,
+    outstanding_rd: u32,
+    outstanding_wr: u32,
+    rd_guard: OrderingGuard,
+    wr_guard: OrderingGuard,
+    w_streams: VecDeque<WStream>,
+    next_id: u16,
+    txn_serial: u64,
+    issue_allowed_at: Cycle,
+    finished: Vec<u64>,
+    latency: Histogram,
+    transfers_completed: u64,
+}
+
+impl DmaEngine {
+    /// Creates a DMA engine at `node`, mastering link `link`.
+    #[must_use]
+    pub fn new(node: usize, link: usize, params: AxiParams, setup_cycles: u32) -> Self {
+        Self {
+            node,
+            link,
+            params,
+            setup_cycles,
+            queue: VecDeque::new(),
+            active: None,
+            outstanding_rd: 0,
+            outstanding_wr: 0,
+            rd_guard: OrderingGuard::new(),
+            wr_guard: OrderingGuard::new(),
+            w_streams: VecDeque::new(),
+            next_id: 0,
+            txn_serial: (node as u64) << 40,
+            issue_allowed_at: 0,
+            finished: Vec::new(),
+            latency: Histogram::new(),
+            transfers_completed: 0,
+        }
+    }
+
+    /// The node this engine sits at.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Queues a transfer descriptor.
+    pub fn enqueue(&mut self, t: ResolvedTransfer) {
+        self.queue.push_back(t);
+    }
+
+    /// Descriptors waiting (not counting the active one).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the engine has nothing queued, active, or outstanding.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+            && self.active.is_none()
+            && self.outstanding_rd == 0
+            && self.outstanding_wr == 0
+    }
+
+    /// Transfers completed so far.
+    #[must_use]
+    pub fn transfers_completed(&self) -> u64 {
+        self.transfers_completed
+    }
+
+    /// Transfer latency histogram (descriptor issue → last response).
+    #[must_use]
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Drains the IDs of transfers that completed this cycle.
+    pub fn take_finished(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Advances one cycle. `meter` accumulates read payload delivered to
+    /// this master (write payload is counted at the slave; a copy's read
+    /// leg is *not* metered — its payload is counted once, at the
+    /// destination).
+    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) {
+        let link = &mut links[self.link];
+        // Write responses.
+        if let Some(beat) = link.b.pop() {
+            self.wr_guard.complete(beat.id);
+            self.outstanding_wr -= 1;
+            let active = self.active.as_mut().expect("B for active transfer");
+            active.resp_pending -= 1;
+        }
+        // Read data.
+        if let Some(beat) = link.r.pop() {
+            let active = self.active.as_mut().expect("R for active transfer");
+            match active.buffer_bytes {
+                // Copy: received data feeds the write leg; not metered.
+                Some(ref mut buf) => *buf += u64::from(beat.bytes),
+                None => meter.record(now, u64::from(beat.bytes)),
+            }
+            if beat.last {
+                self.rd_guard.complete(beat.id);
+                self.outstanding_rd -= 1;
+                active.resp_pending -= 1;
+            }
+        }
+        // Transfer completion.
+        if let Some(active) = &self.active {
+            if active.read_bursts.is_empty()
+                && active.write_bursts.is_empty()
+                && active.resp_pending == 0
+                && self.w_streams.is_empty()
+            {
+                let active = self.active.take().expect("checked above");
+                self.latency.record(now.saturating_sub(active.issued_at));
+                self.finished.push(active.transfer.id);
+                self.transfers_completed += 1;
+                self.issue_allowed_at = now + Cycle::from(self.setup_cycles);
+            }
+        }
+        // Start the next descriptor once the setup window has elapsed.
+        if self.active.is_none() && now >= self.issue_allowed_at {
+            if let Some(r) = self.queue.pop_front() {
+                let beat_bytes = self.params.bytes_per_beat();
+                let (read_bursts, write_bursts, buffer, read_dst) = match r.transfer.kind {
+                    TransferKind::Read => (
+                        split_transfer(r.addr, r.transfer.bytes, beat_bytes),
+                        Vec::new(),
+                        None,
+                        r.transfer.dst,
+                    ),
+                    TransferKind::Write => (
+                        Vec::new(),
+                        split_transfer(r.addr, r.transfer.bytes, beat_bytes),
+                        None,
+                        r.transfer.dst,
+                    ),
+                    TransferKind::Copy { src, .. } => (
+                        split_transfer(
+                            r.src_addr.expect("engine resolved the copy source"),
+                            r.transfer.bytes,
+                            beat_bytes,
+                        ),
+                        split_transfer(r.addr, r.transfer.bytes, beat_bytes),
+                        Some(0),
+                        src,
+                    ),
+                };
+                self.active = Some(ActiveTransfer {
+                    transfer: r.transfer,
+                    issued_at: now,
+                    read_bursts: read_bursts.into(),
+                    write_bursts: write_bursts.into(),
+                    buffer_bytes: buffer,
+                    read_dst,
+                    resp_pending: 0,
+                });
+            }
+        }
+        // Issue burst requests: at most one AR and one AW per cycle
+        // (independent channels, independent outstanding budgets).
+        let mot = self.params.max_outstanding();
+        let ids = self.params.unique_ids() as u16;
+        if let Some(active) = &mut self.active {
+            if self.outstanding_rd < mot && !active.read_bursts.is_empty() && link.ar.can_push()
+            {
+                let id = AxiId(self.next_id % ids);
+                if self.rd_guard.may_issue(id, active.read_dst) {
+                    let burst = active.read_bursts.pop_front().expect("non-empty");
+                    self.next_id = self.next_id.wrapping_add(1);
+                    self.txn_serial += 1;
+                    self.rd_guard.issue(id, active.read_dst);
+                    self.outstanding_rd += 1;
+                    active.resp_pending += 1;
+                    link.ar.push(ReqBeat {
+                        id,
+                        dst: active.read_dst,
+                        src: self.node,
+                        beats: burst.num_beats() as u16,
+                        bytes: burst.payload_bytes() as u32,
+                        txn: self.txn_serial,
+                        issued_at: active.issued_at,
+                    });
+                }
+            }
+            if self.outstanding_wr < mot && !active.write_bursts.is_empty() && link.aw.can_push()
+            {
+                let dst = active.transfer.dst;
+                let id = AxiId(self.next_id % ids);
+                if self.wr_guard.may_issue(id, dst) {
+                    let burst = active.write_bursts.pop_front().expect("non-empty");
+                    self.next_id = self.next_id.wrapping_add(1);
+                    self.txn_serial += 1;
+                    self.wr_guard.issue(id, dst);
+                    self.outstanding_wr += 1;
+                    active.resp_pending += 1;
+                    let beat = ReqBeat {
+                        id,
+                        dst,
+                        src: self.node,
+                        beats: burst.num_beats() as u16,
+                        bytes: burst.payload_bytes() as u32,
+                        txn: self.txn_serial,
+                        issued_at: active.issued_at,
+                    };
+                    link.aw.push(beat);
+                    self.w_streams.push_back(WStream {
+                        beats_left: beat.beats,
+                        bytes_left: beat.bytes,
+                        txn: beat.txn,
+                    });
+                }
+            }
+        }
+        // Stream write data, one beat per cycle; a copy's W beats wait for
+        // the corresponding read data to have arrived.
+        if let Some(ws) = self.w_streams.front_mut() {
+            if link.w.can_push() {
+                let bytes = ws.bytes_left.div_ceil(u32::from(ws.beats_left));
+                let data_ready = match self.active.as_ref().and_then(|a| a.buffer_bytes) {
+                    Some(buf) => buf >= u64::from(bytes),
+                    None => true,
+                };
+                if data_ready {
+                    if let Some(active) = &mut self.active {
+                        if let Some(buf) = &mut active.buffer_bytes {
+                            *buf -= u64::from(bytes);
+                        }
+                    }
+                    ws.bytes_left -= bytes;
+                    ws.beats_left -= 1;
+                    let last = ws.beats_left == 0;
+                    link.w.push(DataBeat {
+                        bytes,
+                        last,
+                        txn: ws.txn,
+                    });
+                    if last {
+                        self.w_streams.pop_front();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WriteJob {
+    id: AxiId,
+    txn: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ReadJob {
+    ready_at: Cycle,
+    id: AxiId,
+    beats: u16,
+    bytes: u32,
+    txn: u64,
+}
+
+/// The AXI memory slave endpoint.
+///
+/// A pipelined memory: accepts one AW and one AR per cycle (each bounded by
+/// its own outstanding cap — a read backlog must not block the independent
+/// write port, and vice versa), absorbs one W beat per cycle, and streams
+/// one R beat per cycle after `latency` cycles, as in a dual-ported memory
+/// tile with separate read/write transaction queues.
+#[derive(Debug, Clone)]
+pub struct MemorySlave {
+    node: usize,
+    link: usize,
+    latency: u32,
+    cap: u32,
+    outstanding_rd: u32,
+    outstanding_wr: u32,
+    pending_w: VecDeque<WriteJob>,
+    b_queue: VecDeque<(Cycle, RespBeat)>,
+    read_q: VecDeque<ReadJob>,
+    r_stream: Option<ReadJob>,
+    write_bytes: u64,
+}
+
+impl MemorySlave {
+    /// Creates a memory slave at `node`, serving link `link`.
+    #[must_use]
+    pub fn new(node: usize, link: usize, latency: u32, outstanding_cap: u32) -> Self {
+        Self {
+            node,
+            link,
+            latency,
+            cap: outstanding_cap.max(1),
+            outstanding_rd: 0,
+            outstanding_wr: 0,
+            pending_w: VecDeque::new(),
+            b_queue: VecDeque::new(),
+            read_q: VecDeque::new(),
+            r_stream: None,
+            write_bytes: 0,
+        }
+    }
+
+    /// The node this memory sits at.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Total write payload accepted (all time, not windowed).
+    #[must_use]
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Whether the memory has no transaction in progress.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.outstanding_rd == 0 && self.outstanding_wr == 0
+    }
+
+    /// Advances one cycle. `meter` accumulates write payload accepted here.
+    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) {
+        let link = &mut links[self.link];
+        // Accept one write request.
+        if self.outstanding_wr < self.cap {
+            if let Some(beat) = link.aw.pop() {
+                self.outstanding_wr += 1;
+                self.pending_w.push_back(WriteJob {
+                    id: beat.id,
+                    txn: beat.txn,
+                });
+            }
+        }
+        // Accept one read request.
+        if self.outstanding_rd < self.cap {
+            if let Some(beat) = link.ar.pop() {
+                self.outstanding_rd += 1;
+                self.read_q.push_back(ReadJob {
+                    ready_at: now + Cycle::from(self.latency),
+                    id: beat.id,
+                    beats: beat.beats,
+                    bytes: beat.bytes,
+                    txn: beat.txn,
+                });
+            }
+        }
+        // Absorb one write-data beat for the oldest accepted write.
+        if let Some(job) = self.pending_w.front() {
+            if let Some(beat) = link.w.pop() {
+                debug_assert_eq!(beat.txn, job.txn, "W beats must follow AW order");
+                meter.record(now, u64::from(beat.bytes));
+                self.write_bytes += u64::from(beat.bytes);
+                if beat.last {
+                    self.b_queue.push_back((
+                        now + Cycle::from(self.latency),
+                        RespBeat {
+                            id: job.id,
+                            bytes: 0,
+                            last: true,
+                            txn: job.txn,
+                        },
+                    ));
+                    self.pending_w.pop_front();
+                }
+            }
+        }
+        // Send one write response.
+        if let Some(&(ready, beat)) = self.b_queue.front() {
+            if ready <= now && link.b.can_push() {
+                link.b.push(beat);
+                self.b_queue.pop_front();
+                self.outstanding_wr -= 1;
+            }
+        }
+        // Start the next read burst once its latency elapsed.
+        if self.r_stream.is_none() {
+            if let Some(job) = self.read_q.front() {
+                if job.ready_at <= now {
+                    self.r_stream = self.read_q.pop_front();
+                }
+            }
+        }
+        // Stream one read-data beat.
+        if let Some(job) = &mut self.r_stream {
+            if link.r.can_push() {
+                let bytes = job.bytes.div_ceil(u32::from(job.beats));
+                job.bytes -= bytes;
+                job.beats -= 1;
+                let last = job.beats == 0;
+                link.r.push(RespBeat {
+                    id: job.id,
+                    bytes,
+                    last,
+                    txn: job.txn,
+                });
+                if last {
+                    self.r_stream = None;
+                    self.outstanding_rd -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire() -> Vec<AxiLink> {
+        vec![AxiLink::new(1)]
+    }
+
+    fn transfer(bytes: u64, kind: TransferKind) -> ResolvedTransfer {
+        let src_addr = match kind {
+            TransferKind::Copy { .. } => Some(0x9000_0000),
+            _ => None,
+        };
+        ResolvedTransfer {
+            transfer: Transfer {
+                id: 1,
+                dst: 2,
+                offset: 0,
+                bytes,
+                kind,
+            },
+            addr: 0x8000_0000,
+            src_addr,
+        }
+    }
+
+    /// Runs a DMA directly wired to a memory (no XPs) to completion.
+    fn run_direct(bytes: u64, kind: TransferKind) -> (u64, u64, Cycle) {
+        let mut links = wire();
+        let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 4);
+        let mut mem = MemorySlave::new(2, 0, 5, 64);
+        let mut meter = ThroughputMeter::new(0);
+        dma.enqueue(transfer(bytes, kind));
+        let mut now = 0;
+        while !dma.is_idle() {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            dma.step(&mut links, now, &mut meter);
+            mem.step(&mut links, now, &mut meter);
+            now += 1;
+            assert!(now < 1_000_000, "no forward progress");
+        }
+        (meter.bytes(), mem.write_bytes(), now)
+    }
+
+    #[test]
+    fn write_moves_exact_bytes() {
+        let (metered, at_slave, _) = run_direct(1000, TransferKind::Write);
+        assert_eq!(metered, 1000);
+        assert_eq!(at_slave, 1000);
+    }
+
+    #[test]
+    fn read_moves_exact_bytes() {
+        let (metered, at_slave, _) = run_direct(4096, TransferKind::Read);
+        assert_eq!(metered, 4096);
+        assert_eq!(at_slave, 0);
+    }
+
+    #[test]
+    fn large_write_streams_near_line_rate() {
+        // 64 KiB over a 4-byte bus = 16384 beats; with pipelined bursts the
+        // total time must be close to one beat per cycle.
+        let (_, _, cycles) = run_direct(65536, TransferKind::Write);
+        let beats = 65536 / 4;
+        assert!(
+            cycles < beats + 500,
+            "took {cycles} cycles for {beats} beats"
+        );
+    }
+
+    #[test]
+    fn tiny_transfer_is_latency_bound() {
+        let (_, _, cycles) = run_direct(4, TransferKind::Write);
+        // One beat but a full request/response round trip.
+        assert!(cycles > 5, "unrealistically fast: {cycles}");
+        assert!(cycles < 50, "unreasonably slow: {cycles}");
+    }
+
+    #[test]
+    fn copy_streams_through_and_counts_once() {
+        // A copy between two memories behind the same link (the slave
+        // serves both regions here): payload crosses twice, counted once.
+        let (metered, at_slave, cycles) = run_direct(
+            2048,
+            TransferKind::Copy {
+                src: 2,
+                src_offset: 0,
+            },
+        );
+        assert_eq!(metered, 2048, "counted once, at the destination");
+        assert_eq!(at_slave, 2048, "write leg delivered everything");
+        // R and W channels are independent, so the legs overlap: the copy
+        // takes about one beat-time (512 beats) plus pipeline fill, not two.
+        assert!(cycles >= 512, "{cycles} cycles");
+        assert!(cycles < 512 + 100, "{cycles} cycles — legs failed to overlap");
+    }
+
+    #[test]
+    fn copy_read_leg_not_double_counted() {
+        let (metered, _, _) = run_direct(
+            100,
+            TransferKind::Copy {
+                src: 2,
+                src_offset: 4096,
+            },
+        );
+        assert_eq!(metered, 100);
+    }
+
+    #[test]
+    fn completion_reported_once() {
+        let mut links = wire();
+        let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 2);
+        let mut mem = MemorySlave::new(2, 0, 3, 16);
+        let mut meter = ThroughputMeter::new(0);
+        dma.enqueue(transfer(64, TransferKind::Read));
+        let mut finished = Vec::new();
+        for now in 0..200 {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            dma.step(&mut links, now, &mut meter);
+            mem.step(&mut links, now, &mut meter);
+            finished.extend(dma.take_finished());
+        }
+        assert_eq!(finished, vec![1]);
+        assert_eq!(dma.transfers_completed(), 1);
+    }
+
+    #[test]
+    fn setup_cost_separates_descriptors() {
+        let mut links = wire();
+        let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 20);
+        let mut mem = MemorySlave::new(2, 0, 1, 16);
+        let mut meter = ThroughputMeter::new(0);
+        dma.enqueue(transfer(4, TransferKind::Write));
+        dma.enqueue(transfer(4, TransferKind::Write));
+        let mut completion_times = Vec::new();
+        for now in 0..500 {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            dma.step(&mut links, now, &mut meter);
+            mem.step(&mut links, now, &mut meter);
+            if !dma.take_finished().is_empty() {
+                completion_times.push(now);
+            }
+        }
+        assert_eq!(completion_times.len(), 2);
+        // Second completion at least setup + round trip after the first.
+        assert!(completion_times[1] - completion_times[0] >= 20);
+    }
+
+    #[test]
+    fn mot_limits_outstanding_bursts() {
+        let params = AxiParams::slim().with_max_outstanding(2).unwrap();
+        let mut links = wire();
+        let mut dma = DmaEngine::new(0, 0, params, 0);
+        // A slave that never answers: outstanding must stop at MOT.
+        dma.enqueue(transfer(64 * 1024, TransferKind::Read));
+        let mut meter = ThroughputMeter::new(0);
+        for now in 0..100 {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            dma.step(&mut links, now, &mut meter);
+            // Drain AR so channel space is never the limit.
+            if now % 2 == 0 {
+                links[0].ar.pop();
+            }
+        }
+        assert_eq!(dma.outstanding_rd, 2);
+    }
+
+    #[test]
+    fn memory_cap_backpressures_requests() {
+        let mut links = wire();
+        let mut mem = MemorySlave::new(2, 0, 1000, 2);
+        let mut meter = ThroughputMeter::new(0);
+        for now in 0u64..20 {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            if links[0].ar.can_push() {
+                links[0].ar.push(ReqBeat {
+                    id: AxiId(now as u16 % 16),
+                    dst: 2,
+                    src: 0,
+                    beats: 1,
+                    bytes: 4,
+                    txn: now,
+                    issued_at: 0,
+                });
+            }
+            mem.step(&mut links, now, &mut meter);
+        }
+        // Huge latency means nothing completes: exactly 2 accepted.
+        assert_eq!(mem.outstanding_rd, 2);
+    }
+
+    #[test]
+    fn read_latency_respected() {
+        let mut links = wire();
+        let mut mem = MemorySlave::new(2, 0, 25, 8);
+        let mut meter = ThroughputMeter::new(0);
+        links[0].begin_cycle();
+        links[0].ar.push(ReqBeat {
+            id: AxiId(0),
+            dst: 2,
+            src: 0,
+            beats: 1,
+            bytes: 4,
+            txn: 0,
+            issued_at: 0,
+        });
+        let mut first_r = None;
+        for now in 0..100 {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            mem.step(&mut links, now, &mut meter);
+            if first_r.is_none() && links[0].r.pop().is_some() {
+                first_r = Some(now);
+            }
+        }
+        assert!(first_r.expect("R arrived") >= 25);
+    }
+}

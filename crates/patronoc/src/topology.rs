@@ -1,0 +1,369 @@
+//! NoC topologies built from the AXI crosspoint.
+//!
+//! The paper evaluates a 2D mesh "due to its popularity in research and its
+//! remarkable simplicity, scalability, and efficiency", but stresses that
+//! "any regular topology, such as a torus, butterfly, or ring, can also be
+//! modularly built using our building blocks" (§II). This module provides
+//! the mesh (the evaluated proof-of-concept) plus torus and ring as the
+//! promised extensions.
+
+use std::fmt;
+
+/// A mesh/torus direction, also used as an XP port name.
+///
+/// Port layout at every crosspoint: the four compass ports plus the local
+/// endpoint port (see [`PORTS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Towards row − 1.
+    North,
+    /// Towards column + 1.
+    East,
+    /// Towards row + 1.
+    South,
+    /// Towards column − 1.
+    West,
+}
+
+impl Dir {
+    /// All four compass directions.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+    /// The opposite direction (used to find the neighbour's receiving port).
+    #[must_use]
+    pub fn opposite(self) -> Self {
+        match self {
+            Dir::North => Dir::South,
+            Dir::East => Dir::West,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// Port index of this direction (0..4; the local port is 4).
+    #[must_use]
+    pub fn port(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::East => 1,
+            Dir::South => 2,
+            Dir::West => 3,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::North => "N",
+            Dir::East => "E",
+            Dir::South => "S",
+            Dir::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Number of ports per crosspoint: N, E, S, W + local.
+pub const PORTS: usize = 5;
+
+/// Index of the local (endpoint) port.
+pub const LOCAL: usize = 4;
+
+/// A regular topology instantiable from the XP building block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// `cols × rows` 2D mesh (the paper's evaluated topology).
+    Mesh {
+        /// Width (number of columns).
+        cols: usize,
+        /// Height (number of rows).
+        rows: usize,
+    },
+    /// 2D torus: a mesh with wrap-around links in both dimensions.
+    Torus {
+        /// Width.
+        cols: usize,
+        /// Height.
+        rows: usize,
+    },
+    /// Bidirectional ring of `nodes` crosspoints (East/West links only).
+    Ring {
+        /// Number of crosspoints.
+        nodes: usize,
+    },
+}
+
+impl Topology {
+    /// The paper's 2×2 mesh.
+    #[must_use]
+    pub fn mesh2x2() -> Self {
+        Topology::Mesh { cols: 2, rows: 2 }
+    }
+
+    /// The paper's 4×4 mesh.
+    #[must_use]
+    pub fn mesh4x4() -> Self {
+        Topology::Mesh { cols: 4, rows: 4 }
+    }
+
+    /// Number of crosspoints (= endpoint capacity with one master and one
+    /// slave per XP, per Table I's default).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            Topology::Mesh { cols, rows } | Topology::Torus { cols, rows } => cols * rows,
+            Topology::Ring { nodes } => nodes,
+        }
+    }
+
+    /// Validates the dimensions (at least 2 nodes; mesh/torus at least 1×1).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            Topology::Mesh { cols, rows } => cols >= 1 && rows >= 1 && cols * rows >= 2,
+            Topology::Torus { cols, rows } => cols >= 3 && rows >= 3,
+            Topology::Ring { nodes } => nodes >= 2,
+        }
+    }
+
+    /// `(x, y)` coordinate of a node (`y = 0` for rings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn coord(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.num_nodes(), "node out of range");
+        match *self {
+            Topology::Mesh { cols, .. } | Topology::Torus { cols, .. } => {
+                (node % cols, node / cols)
+            }
+            Topology::Ring { .. } => (node, 0),
+        }
+    }
+
+    /// Node index at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the topology.
+    #[must_use]
+    pub fn node_at(&self, x: usize, y: usize) -> usize {
+        match *self {
+            Topology::Mesh { cols, rows } | Topology::Torus { cols, rows } => {
+                assert!(x < cols && y < rows, "coordinate out of range");
+                y * cols + x
+            }
+            Topology::Ring { nodes } => {
+                assert!(x < nodes && y == 0, "coordinate out of range");
+                x
+            }
+        }
+    }
+
+    /// The neighbour of `node` in direction `dir`, if a link exists.
+    #[must_use]
+    pub fn neighbor(&self, node: usize, dir: Dir) -> Option<usize> {
+        let (x, y) = self.coord(node);
+        match *self {
+            Topology::Mesh { cols, rows } => {
+                let (nx, ny) = match dir {
+                    Dir::North => (x as isize, y as isize - 1),
+                    Dir::South => (x as isize, y as isize + 1),
+                    Dir::East => (x as isize + 1, y as isize),
+                    Dir::West => (x as isize - 1, y as isize),
+                };
+                if nx < 0 || ny < 0 || nx >= cols as isize || ny >= rows as isize {
+                    None
+                } else {
+                    Some(self.node_at(nx as usize, ny as usize))
+                }
+            }
+            Topology::Torus { cols, rows } => {
+                let (nx, ny) = match dir {
+                    Dir::North => (x, (y + rows - 1) % rows),
+                    Dir::South => (x, (y + 1) % rows),
+                    Dir::East => ((x + 1) % cols, y),
+                    Dir::West => ((x + cols - 1) % cols, y),
+                };
+                Some(self.node_at(nx, ny))
+            }
+            Topology::Ring { nodes } => match dir {
+                Dir::East => Some((node + 1) % nodes),
+                Dir::West => Some((node + nodes - 1) % nodes),
+                _ => None,
+            },
+        }
+    }
+
+    /// Minimal hop distance between two nodes under the topology's links.
+    #[must_use]
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coord(a);
+        let (bx, by) = self.coord(b);
+        match *self {
+            Topology::Mesh { .. } => ax.abs_diff(bx) + ay.abs_diff(by),
+            Topology::Torus { cols, rows } => {
+                let dx = ax.abs_diff(bx);
+                let dy = ay.abs_diff(by);
+                dx.min(cols - dx) + dy.min(rows - dy)
+            }
+            Topology::Ring { nodes } => {
+                let d = ax.abs_diff(bx);
+                d.min(nodes - d)
+            }
+        }
+    }
+
+    /// Number of unidirectional mesh links crossing the minimal bisection.
+    ///
+    /// For an `N×M` mesh cut across the longer dimension this is
+    /// `2 · min(N, M)` (each cut link is a pair of opposed unidirectional
+    /// channels); a torus doubles it via the wrap links; a ring's bisection
+    /// is 4 (two bidirectional links).
+    #[must_use]
+    pub fn bisection_links(&self) -> usize {
+        match *self {
+            Topology::Mesh { cols, rows } => 2 * cols.min(rows),
+            Topology::Torus { cols, rows } => 4 * cols.min(rows),
+            Topology::Ring { .. } => 4,
+        }
+    }
+
+    /// All directed XP→XP links as `(from, dir, to)` triples.
+    #[must_use]
+    pub fn links(&self) -> Vec<(usize, Dir, usize)> {
+        let mut out = Vec::new();
+        for node in 0..self.num_nodes() {
+            for dir in Dir::ALL {
+                if let Some(n) = self.neighbor(node, dir) {
+                    out.push((node, dir, n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Topology::Mesh { cols, rows } => write!(f, "{cols}x{rows} mesh"),
+            Topology::Torus { cols, rows } => write!(f, "{cols}x{rows} torus"),
+            Topology::Ring { nodes } => write!(f, "{nodes}-node ring"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let t = Topology::mesh4x4();
+        for n in 0..16 {
+            let (x, y) = t.coord(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn mesh_neighbors_respect_edges() {
+        let t = Topology::mesh4x4();
+        assert_eq!(t.neighbor(0, Dir::North), None);
+        assert_eq!(t.neighbor(0, Dir::West), None);
+        assert_eq!(t.neighbor(0, Dir::East), Some(1));
+        assert_eq!(t.neighbor(0, Dir::South), Some(4));
+        assert_eq!(t.neighbor(15, Dir::South), None);
+        assert_eq!(t.neighbor(15, Dir::East), None);
+        assert_eq!(t.neighbor(5, Dir::North), Some(1));
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = Topology::Torus { cols: 4, rows: 4 };
+        assert_eq!(t.neighbor(0, Dir::North), Some(12));
+        assert_eq!(t.neighbor(0, Dir::West), Some(3));
+        assert_eq!(t.neighbor(3, Dir::East), Some(0));
+    }
+
+    #[test]
+    fn ring_has_two_neighbors() {
+        let t = Topology::Ring { nodes: 8 };
+        assert_eq!(t.neighbor(0, Dir::East), Some(1));
+        assert_eq!(t.neighbor(0, Dir::West), Some(7));
+        assert_eq!(t.neighbor(0, Dir::North), None);
+        assert_eq!(t.neighbor(0, Dir::South), None);
+    }
+
+    #[test]
+    fn hop_distance_mesh_is_manhattan() {
+        let t = Topology::mesh4x4();
+        assert_eq!(t.hop_distance(0, 15), 6);
+        assert_eq!(t.hop_distance(5, 6), 1);
+        assert_eq!(t.hop_distance(3, 3), 0);
+    }
+
+    #[test]
+    fn hop_distance_torus_wraps() {
+        let t = Topology::Torus { cols: 4, rows: 4 };
+        assert_eq!(t.hop_distance(0, 3), 1); // wrap in x
+        assert_eq!(t.hop_distance(0, 15), 2); // wrap both
+    }
+
+    #[test]
+    fn hop_distance_ring() {
+        let t = Topology::Ring { nodes: 8 };
+        assert_eq!(t.hop_distance(0, 7), 1);
+        assert_eq!(t.hop_distance(0, 4), 4);
+    }
+
+    #[test]
+    fn bisection_link_counts() {
+        assert_eq!(Topology::mesh2x2().bisection_links(), 4);
+        assert_eq!(Topology::mesh4x4().bisection_links(), 8);
+        assert_eq!(Topology::Torus { cols: 4, rows: 4 }.bisection_links(), 16);
+        assert_eq!(Topology::Ring { nodes: 8 }.bisection_links(), 4);
+    }
+
+    #[test]
+    fn link_lists_are_symmetric() {
+        for t in [
+            Topology::mesh2x2(),
+            Topology::mesh4x4(),
+            Topology::Torus { cols: 3, rows: 3 },
+            Topology::Ring { nodes: 5 },
+        ] {
+            let links = t.links();
+            for &(a, d, b) in &links {
+                assert!(
+                    links.contains(&(b, d.opposite(), a)),
+                    "{t}: missing reverse of ({a},{d},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_4x4_has_48_directed_links() {
+        // 24 bidirectional mesh edges → 48 directed.
+        assert_eq!(Topology::mesh4x4().links().len(), 48);
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Topology::mesh2x2().is_valid());
+        assert!(!Topology::Mesh { cols: 1, rows: 1 }.is_valid());
+        assert!(!Topology::Torus { cols: 2, rows: 2 }.is_valid());
+        assert!(Topology::Ring { nodes: 2 }.is_valid());
+    }
+}

@@ -1,0 +1,156 @@
+//! The structural kGE area model.
+
+use axi::AxiParams;
+use patronoc::topology::Dir;
+use patronoc::Topology;
+
+/// Per-block area coefficients (kGE units).
+///
+/// [`AreaModel::calibrated`] returns the coefficients fitted to the paper's
+/// anchors; all fields are public so ablation studies can perturb them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Fixed control overhead per crosspoint.
+    pub k_base: f64,
+    /// Per port, per data-width bit: channel register slices / skid buffers
+    /// on the W and R data paths (both directions of one port).
+    pub k_buf: f64,
+    /// Per port-pair, per data-width bit: crossbar multiplexing.
+    pub k_xbar: f64,
+    /// Per port, per address-width bit: AW/AR path (decode, slices).
+    pub k_addr: f64,
+    /// Per port, per ID-table entry (`2^IW`): remap table storage.
+    pub k_id: f64,
+    /// Per port, per additional outstanding transaction: tracking
+    /// counters/FIFOs enabling MOT > 1.
+    pub k_mot: f64,
+}
+
+impl AreaModel {
+    /// Coefficients calibrated to the paper's §III anchors (see the
+    /// [crate documentation](crate)).
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self {
+            k_base: 24.5,
+            k_buf: 0.0468,
+            k_xbar: 0.006_78,
+            k_addr: 0.05,
+            k_id: 0.272,
+            k_mot: 0.138,
+        }
+    }
+
+    /// Area of one crosspoint with `ports` slave/master port pairs.
+    #[must_use]
+    pub fn xp_area_kge(&self, ports: usize, axi: AxiParams) -> f64 {
+        let p = ports as f64;
+        let dw = f64::from(axi.data_width());
+        let aw = f64::from(axi.addr_width());
+        let ids = axi.unique_ids() as f64;
+        let mot = f64::from(axi.max_outstanding());
+        self.k_base
+            + self.k_buf * p * 2.0 * dw
+            + self.k_xbar * p * p * dw
+            + self.k_addr * p * aw
+            + self.k_id * p * ids
+            + self.k_mot * p * (mot - 1.0)
+    }
+
+    /// Total NoC area of a topology: sums per-XP areas, where each XP has
+    /// one port per connected mesh direction plus the local endpoint port.
+    #[must_use]
+    pub fn mesh_area_kge(&self, topo: Topology, axi: AxiParams) -> f64 {
+        (0..topo.num_nodes())
+            .map(|node| {
+                let dirs = Dir::ALL
+                    .iter()
+                    .filter(|&&d| topo.neighbor(node, d).is_some())
+                    .count();
+                self.xp_area_kge(dirs + 1, axi)
+            })
+            .sum()
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axi(aw: u32, dw: u32, iw: u32, mot: u32) -> AxiParams {
+        AxiParams::new(aw, dw, iw, mot).expect("valid test params")
+    }
+
+    #[test]
+    fn anchor_2x2_32_32_2() {
+        let a = AreaModel::calibrated().mesh_area_kge(Topology::mesh2x2(), axi(32, 32, 2, 1));
+        assert!((a - 174.0).abs() / 174.0 < 0.05, "got {a} kGE, paper 174");
+    }
+
+    #[test]
+    fn anchor_2x2_32_512_2() {
+        let a = AreaModel::calibrated().mesh_area_kge(Topology::mesh2x2(), axi(32, 512, 2, 1));
+        assert!((a - 830.0).abs() / 830.0 < 0.05, "got {a} kGE, paper 830");
+    }
+
+    #[test]
+    fn anchor_4x4_mot_sweep_endpoints() {
+        let m = AreaModel::calibrated();
+        let lo = m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 1));
+        let hi = m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 128));
+        assert!((900.0..1300.0).contains(&lo), "MOT=1: {lo} kGE");
+        assert!((2000.0..2500.0).contains(&hi), "MOT=128: {hi} kGE");
+    }
+
+    #[test]
+    fn area_monotone_in_every_parameter() {
+        let m = AreaModel::calibrated();
+        let base = m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 8));
+        assert!(m.mesh_area_kge(Topology::mesh4x4(), axi(64, 64, 4, 8)) > base);
+        assert!(m.mesh_area_kge(Topology::mesh4x4(), axi(32, 128, 4, 8)) > base);
+        assert!(m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 8, 8)) > base);
+        assert!(m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 16)) > base);
+    }
+
+    #[test]
+    fn bigger_mesh_costs_more() {
+        let m = AreaModel::calibrated();
+        let p = axi(32, 64, 4, 1);
+        assert!(
+            m.mesh_area_kge(Topology::mesh4x4(), p) > 2.0 * m.mesh_area_kge(Topology::mesh2x2(), p)
+        );
+    }
+
+    #[test]
+    fn port_counts_follow_mesh_position() {
+        // 4×4: corners have 3 ports, edges 4, center 5; the XP area must
+        // reflect it.
+        let m = AreaModel::calibrated();
+        let p = axi(32, 64, 4, 1);
+        let corner = m.xp_area_kge(3, p);
+        let edge = m.xp_area_kge(4, p);
+        let center = m.xp_area_kge(5, p);
+        assert!(corner < edge && edge < center);
+        // The mesh total equals the position-weighted sum.
+        let total = m.mesh_area_kge(Topology::mesh4x4(), p);
+        let manual = 4.0 * corner + 8.0 * edge + 4.0 * center;
+        assert!((total - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mot_cost_is_linear() {
+        let m = AreaModel::calibrated();
+        let a1 = m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 1));
+        let a2 = m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 65));
+        let a3 = m.mesh_area_kge(Topology::mesh4x4(), axi(32, 64, 4, 128));
+        let slope_lo = (a2 - a1) / 64.0;
+        let slope_hi = (a3 - a2) / 63.0;
+        assert!((slope_lo - slope_hi).abs() < 1e-9);
+    }
+}

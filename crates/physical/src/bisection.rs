@@ -1,0 +1,103 @@
+//! Bisection bandwidth and area efficiency.
+//!
+//! The paper uses two counting conventions without naming them:
+//!
+//! * **One-way** — only the links crossing the cut in one direction count
+//!   (`min-cut link pairs × DW × f`). This is the convention behind Fig. 2's
+//!   ESP comparison: `AXI_32_64_2` provides 128 Gb/s (2 cut links × 64 bit ×
+//!   1 GHz) against ESP-NoC's 160 Gb/s (five 32-bit planes), "25 % more
+//!   throughput".
+//! * **Both-ways** — both directions count (`2 × min-cut pairs × DW × f`).
+//!   This is the convention behind §IV's "32 GiB/s" (slim) and "512 GiB/s"
+//!   (wide) bisection bandwidths of the 4×4 mesh, and hence behind every
+//!   utilization percentage in Fig. 6.
+
+use patronoc::Topology;
+
+/// Which direction(s) of the cut links to count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BisectionCounting {
+    /// Min-cut link pairs, one direction (Fig. 2 / Fig. 3 convention).
+    OneWay,
+    /// Both directions (§IV / Fig. 6 convention).
+    BothWays,
+}
+
+/// Bisection bandwidth in Gbit/s at a 1 GHz clock.
+#[must_use]
+pub fn bisection_bandwidth_gbps(
+    topo: Topology,
+    data_width_bits: u32,
+    counting: BisectionCounting,
+) -> f64 {
+    let unidirectional = topo.bisection_links() as f64;
+    let links = match counting {
+        BisectionCounting::OneWay => unidirectional / 2.0,
+        BisectionCounting::BothWays => unidirectional,
+    };
+    links * f64::from(data_width_bits)
+}
+
+/// Bisection bandwidth in GiB/s at a 1 GHz clock.
+#[must_use]
+pub fn bisection_bandwidth_gib_s(
+    topo: Topology,
+    data_width_bits: u32,
+    counting: BisectionCounting,
+) -> f64 {
+    bisection_bandwidth_gbps(topo, data_width_bits, counting) * 1.0e9
+        / 8.0
+        / (1024.0 * 1024.0 * 1024.0)
+}
+
+/// Area efficiency: bisection bandwidth (Gb/s) per kGE — the slope metric
+/// of Fig. 2 ("bisection bandwidth normalized to the standard cell area").
+#[must_use]
+pub fn area_efficiency(bandwidth_gbps: f64, area_kge: f64) -> f64 {
+    bandwidth_gbps / area_kge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slim_4x4_is_32_gib_s_both_ways() {
+        // Paper §IV: "the slim NoC has a 32 GiB/s bisection bandwidth".
+        let bw = bisection_bandwidth_gib_s(Topology::mesh4x4(), 32, BisectionCounting::BothWays);
+        // 8 unidirectional links × 32 bit = 256 Gb/s = 29.8 GiB/s ≈ the
+        // paper's round "32 GB/s" (they use GB and GiB loosely).
+        assert!((bw - 29.8).abs() < 0.3, "got {bw}");
+    }
+
+    #[test]
+    fn wide_4x4_is_512_gib_s_both_ways() {
+        let bw = bisection_bandwidth_gib_s(Topology::mesh4x4(), 512, BisectionCounting::BothWays);
+        // 8 × 512 bit = 4096 Gb/s = 476.8 GiB/s ≈ the paper's "512 GB/s".
+        assert!((bw - 476.8).abs() < 1.0, "got {bw}");
+    }
+
+    #[test]
+    fn fig2_one_way_convention() {
+        // AXI_32_64_2 on the 2×2 mesh: 2 cut links × 64 bit = 128 Gb/s.
+        let bw = bisection_bandwidth_gbps(Topology::mesh2x2(), 64, BisectionCounting::OneWay);
+        assert_eq!(bw, 128.0);
+        // ESP's 160 Gb/s is then exactly +25 %.
+        assert!((160.0 / bw - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_ways_doubles_one_way() {
+        for dw in [32, 64, 512] {
+            let one = bisection_bandwidth_gbps(Topology::mesh4x4(), dw, BisectionCounting::OneWay);
+            let two =
+                bisection_bandwidth_gbps(Topology::mesh4x4(), dw, BisectionCounting::BothWays);
+            assert_eq!(two, 2.0 * one);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_ratio() {
+        assert!((area_efficiency(128.0, 217.7) - 0.588).abs() < 0.01);
+    }
+}

@@ -1,0 +1,113 @@
+//! ESP-NoC baseline area/bandwidth model (paper §III, Fig. 2).
+//!
+//! ESP-NoC is "a state-of-the-art open-source packet-based NoC including
+//! six planes for coherent and non-coherent traffic". The paper reports its
+//! 2×2 synthesis relative to PATRONoC: "Compared to PATRONoC's
+//! configuration with AW = 32 bits and DW = 64 bits, ESP-NoC takes up 68 %
+//! more area to provide only 25 % more throughput (five 32-bit wide planes
+//! providing 160 Gbit/s)". Those two ratios pin the 32-bit-flit model; the
+//! 64-bit-flit variant scales the five data planes' datapath with flit
+//! width while the control plane stays fixed.
+
+use crate::area::AreaModel;
+use axi::AxiParams;
+use patronoc::Topology;
+
+/// The ESP-NoC baseline point model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EspNoc {
+    /// Flit width in bits (32 or 64 in the paper's Fig. 2).
+    pub flit_bits: u32,
+}
+
+impl EspNoc {
+    /// Data planes carrying payload (the sixth plane is control/coherence).
+    pub const DATA_PLANES: u32 = 5;
+
+    /// The paper's area ratio vs `AXI_32_64_2` for the 32-bit config.
+    pub const AREA_RATIO_VS_AXI_32_64_2: f64 = 1.68;
+
+    /// 32-bit-flit configuration.
+    #[must_use]
+    pub fn flit32() -> Self {
+        Self { flit_bits: 32 }
+    }
+
+    /// 64-bit-flit configuration.
+    #[must_use]
+    pub fn flit64() -> Self {
+        Self { flit_bits: 64 }
+    }
+
+    /// Bisection bandwidth of the 2×2 ESP-NoC in Gb/s at 1 GHz:
+    /// five data planes, each `flit_bits` wide, Fig. 2's one-way counting.
+    #[must_use]
+    pub fn bandwidth_gbps(&self) -> f64 {
+        f64::from(Self::DATA_PLANES) * f64::from(self.flit_bits)
+    }
+
+    /// Modelled 2×2-mesh area in kGE.
+    ///
+    /// Anchored at 1.68 × PATRONoC `AXI_32_64_2` for 32-bit flits; for
+    /// other flit widths the five data planes' datapath area scales with
+    /// the flit width while ~35 % of the area (control plane + protocol
+    /// translation interfaces) is width-independent.
+    #[must_use]
+    pub fn area_kge_2x2(&self, model: &AreaModel) -> f64 {
+        let axi_ref = AxiParams::new(32, 64, 2, 1).expect("reference config is valid");
+        let base32 = Self::AREA_RATIO_VS_AXI_32_64_2
+            * model.mesh_area_kge(Topology::mesh2x2(), axi_ref);
+        let fixed = 0.35 * base32;
+        let datapath32 = base32 - fixed;
+        fixed + datapath32 * f64::from(self.flit_bits) / 32.0
+    }
+
+    /// Area efficiency (Gb/s per kGE) on the 2×2 mesh.
+    #[must_use]
+    pub fn area_efficiency_2x2(&self, model: &AreaModel) -> f64 {
+        self.bandwidth_gbps() / self.area_kge_2x2(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisection::{bisection_bandwidth_gbps, BisectionCounting};
+
+    #[test]
+    fn paper_ratios_hold() {
+        let model = AreaModel::calibrated();
+        let esp = EspNoc::flit32();
+        let axi_ref = AxiParams::new(32, 64, 2, 1).unwrap();
+        let axi_area = model.mesh_area_kge(Topology::mesh2x2(), axi_ref);
+        let esp_area = esp.area_kge_2x2(&model);
+        assert!((esp_area / axi_area - 1.68).abs() < 1e-9, "+68 % area");
+        let axi_bw = bisection_bandwidth_gbps(Topology::mesh2x2(), 64, BisectionCounting::OneWay);
+        assert!((esp.bandwidth_gbps() / axi_bw - 1.25).abs() < 1e-9, "+25 % bw");
+    }
+
+    #[test]
+    fn headline_34_percent_area_efficiency() {
+        // Fig. 2's headline: PATRONoC ≈34 % more area-efficient than the
+        // classical NoC at the comparable configuration.
+        let model = AreaModel::calibrated();
+        let esp = EspNoc::flit32();
+        let axi_ref = AxiParams::new(32, 64, 2, 1).unwrap();
+        let axi_eff = bisection_bandwidth_gbps(Topology::mesh2x2(), 64, BisectionCounting::OneWay)
+            / model.mesh_area_kge(Topology::mesh2x2(), axi_ref);
+        let gain = axi_eff / esp.area_efficiency_2x2(&model) - 1.0;
+        assert!(
+            (0.30..0.40).contains(&gain),
+            "efficiency gain {gain:.3}, paper ≈0.34"
+        );
+    }
+
+    #[test]
+    fn flit64_scales_datapath_only() {
+        let model = AreaModel::calibrated();
+        let a32 = EspNoc::flit32().area_kge_2x2(&model);
+        let a64 = EspNoc::flit64().area_kge_2x2(&model);
+        assert!(a64 > a32 * 1.4 && a64 < a32 * 2.0, "a64/a32 = {}", a64 / a32);
+        assert_eq!(EspNoc::flit64().bandwidth_gbps(), 320.0);
+    }
+}

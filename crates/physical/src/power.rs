@@ -1,0 +1,73 @@
+//! Power model (paper §III).
+//!
+//! "The power consumption at 1 GHz for the 4×4 PATRONoC is 45 mW (for
+//! DW = 32 bits) and 171 mW (for DW = 512 bits) on uniform random traffic.
+//! This accounts for less than 10 % of the projected power consumption of a
+//! complete platform, assuming that a typical DNN accelerator connected to
+//! one NoC node uses 100 mW to 200 mW."
+//!
+//! The model interpolates linearly in data width between the two anchors
+//! and scales with node count relative to the 4×4 reference.
+
+use axi::AxiParams;
+use patronoc::Topology;
+
+/// Anchor: 4×4 mesh power at DW = 32 (mW).
+const P_32: f64 = 45.0;
+/// Anchor: 4×4 mesh power at DW = 512 (mW).
+const P_512: f64 = 171.0;
+
+/// Estimated NoC power in mW at 1 GHz under uniform random traffic.
+#[must_use]
+pub fn power_mw(topo: Topology, axi: AxiParams) -> f64 {
+    let dw = f64::from(axi.data_width());
+    let p_4x4 = P_32 + (P_512 - P_32) * (dw - 32.0) / (512.0 - 32.0);
+    p_4x4 * topo.num_nodes() as f64 / 16.0
+}
+
+/// The paper's platform-share check: NoC power as a fraction of a platform
+/// where each node hosts an accelerator of `accel_mw` milliwatts.
+#[must_use]
+pub fn platform_share(topo: Topology, axi: AxiParams, accel_mw: f64) -> f64 {
+    let noc = power_mw(topo, axi);
+    noc / (noc + topo.num_nodes() as f64 * accel_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axi(dw: u32) -> AxiParams {
+        AxiParams::new(32, dw, 4, 8).unwrap()
+    }
+
+    #[test]
+    fn anchors_exact() {
+        assert!((power_mw(Topology::mesh4x4(), axi(32)) - 45.0).abs() < 1e-9);
+        assert!((power_mw(Topology::mesh4x4(), axi(512)) - 171.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_width() {
+        let p64 = power_mw(Topology::mesh4x4(), axi(64));
+        let p128 = power_mw(Topology::mesh4x4(), axi(128));
+        assert!(45.0 < p64 && p64 < p128 && p128 < 171.0);
+    }
+
+    #[test]
+    fn scales_with_nodes() {
+        let p4 = power_mw(Topology::mesh2x2(), axi(32));
+        assert!((p4 - 45.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_ten_percent_of_platform() {
+        // Paper: < 10 % assuming 100–200 mW per accelerator.
+        for dw in [32, 512] {
+            for accel in [100.0, 200.0] {
+                let share = platform_share(Topology::mesh4x4(), axi(dw), accel);
+                assert!(share < 0.10, "dw {dw}, accel {accel}: share {share}");
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Bounded FIFOs with two-phase (registered) semantics.
+//!
+//! Hardware valid/ready channels are cut by register slices so that a 1 GHz
+//! clock can be met (paper §II, Table I: "Register Slice ... single channel or
+//! all channels (default)"). The consequence for a cycle-accurate model is
+//! that information never traverses a link combinationally: a beat pushed in
+//! cycle *t* is first visible at the consumer in cycle *t+1*, and the slot it
+//! occupied is first reusable by the producer in cycle *t+1* after a pop.
+//!
+//! [`Fifo`] implements exactly that discipline with an explicit
+//! [`begin_cycle`](Fifo::begin_cycle) snapshot, which also makes the order in
+//! which components are evaluated within a cycle irrelevant — a property the
+//! NoC engines rely on for determinism.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`Fifo::push`] when no slot is available this cycle.
+///
+/// Carries the rejected value back to the caller so it can be retried next
+/// cycle without cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo full: push rejected this cycle")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
+
+/// A bounded queue modelling a registered valid/ready channel.
+///
+/// See the [module documentation](self) for the two-phase discipline.
+/// A depth of 2 gives full throughput (one beat per cycle sustained); a depth
+/// of 1 gives at most one beat every other cycle, like a half-throughput
+/// register slice.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::Fifo;
+///
+/// let mut f: Fifo<&str> = Fifo::new(2);
+/// for _ in 0..3 {
+///     f.begin_cycle();
+///     if f.can_push() {
+///         f.push("beat").unwrap();
+///     }
+///     f.pop(); // consumer drains in the same cycles
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    /// Items that existed at the start of the cycle (poppable now).
+    snap_len: usize,
+    /// Slots that were free at the start of the cycle (pushable now).
+    snap_free: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity channel can never
+    /// transport anything and always indicates a wiring bug.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            snap_len: 0,
+            snap_free: 0,
+        }
+    }
+
+    /// Starts a new cycle: snapshots occupancy for this cycle's pushes/pops.
+    pub fn begin_cycle(&mut self) {
+        self.snap_len = self.buf.len();
+        self.snap_free = self.capacity - self.buf.len();
+    }
+
+    /// Whether a push would succeed this cycle (ready asserted).
+    #[must_use]
+    pub fn can_push(&self) -> bool {
+        self.snap_free > 0
+    }
+
+    /// Pushes a value if a slot was free at the start of the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying `value` back if the FIFO is full from
+    /// this cycle's perspective.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        if self.snap_free == 0 {
+            return Err(PushError(value));
+        }
+        self.snap_free -= 1;
+        self.buf.push_back(value);
+        Ok(())
+    }
+
+    /// Whether a pop would succeed this cycle (valid asserted).
+    #[must_use]
+    pub fn can_pop(&self) -> bool {
+        self.snap_len > 0
+    }
+
+    /// Returns the head element if it was present at the start of the cycle.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        if self.snap_len > 0 {
+            self.buf.front()
+        } else {
+            None
+        }
+    }
+
+    /// Pops the head element if it was present at the start of the cycle.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.snap_len == 0 {
+            return None;
+        }
+        self.snap_len -= 1;
+        self.buf.pop_front()
+    }
+
+    /// Current *raw* occupancy (including values pushed this cycle).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO holds no elements at all (raw view).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over the queued elements, head first (raw view).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Removes all elements and resets the cycle snapshot.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.snap_len = 0;
+        self.snap_free = 0;
+    }
+}
+
+/// A full-throughput register slice: a depth-2 [`Fifo`].
+///
+/// This is the model of the paper's optional "cut" inserted on AXI channels
+/// to close timing (§II). One slice adds one cycle of latency while
+/// sustaining one beat per cycle.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::RegisterSlice;
+///
+/// let mut s: RegisterSlice<u8> = RegisterSlice::new();
+/// s.begin_cycle();
+/// s.push(1).unwrap();
+/// s.begin_cycle();
+/// assert_eq!(s.pop(), Some(1)); // exactly one cycle later
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterSlice<T>(Fifo<T>);
+
+impl<T> RegisterSlice<T> {
+    /// Creates a new full-throughput register slice.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(Fifo::new(2))
+    }
+
+    /// See [`Fifo::begin_cycle`].
+    pub fn begin_cycle(&mut self) {
+        self.0.begin_cycle();
+    }
+
+    /// See [`Fifo::can_push`].
+    #[must_use]
+    pub fn can_push(&self) -> bool {
+        self.0.can_push()
+    }
+
+    /// See [`Fifo::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] if the slice is full this cycle.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        self.0.push(value)
+    }
+
+    /// See [`Fifo::can_pop`].
+    #[must_use]
+    pub fn can_pop(&self) -> bool {
+        self.0.can_pop()
+    }
+
+    /// See [`Fifo::peek`].
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        self.0.peek()
+    }
+
+    /// See [`Fifo::pop`].
+    pub fn pop(&mut self) -> Option<T> {
+        self.0.pop()
+    }
+
+    /// Raw occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the slice is empty (raw view).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<T> Default for RegisterSlice<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_is_not_visible_same_cycle() {
+        let mut f: Fifo<u32> = Fifo::new(4);
+        f.begin_cycle();
+        f.push(1).unwrap();
+        assert!(!f.can_pop());
+        assert_eq!(f.peek(), None);
+        assert_eq!(f.pop(), None);
+        f.begin_cycle();
+        assert!(f.can_pop());
+        assert_eq!(f.peek(), Some(&1));
+        assert_eq!(f.pop(), Some(1));
+    }
+
+    #[test]
+    fn pop_does_not_free_slot_same_cycle() {
+        let mut f: Fifo<u32> = Fifo::new(1);
+        f.begin_cycle();
+        f.push(1).unwrap();
+        f.begin_cycle();
+        assert_eq!(f.pop(), Some(1));
+        // Slot freed by the pop is not pushable until next cycle.
+        assert!(!f.can_push());
+        assert!(f.push(2).is_err());
+        f.begin_cycle();
+        assert!(f.can_push());
+        f.push(2).unwrap();
+    }
+
+    #[test]
+    fn depth_two_sustains_full_throughput() {
+        let mut f: Fifo<u64> = Fifo::new(2);
+        let mut sent = 0u64;
+        let mut received = Vec::new();
+        for _cycle in 0..100 {
+            f.begin_cycle();
+            if let Some(v) = f.pop() {
+                received.push(v);
+            }
+            if f.can_push() {
+                f.push(sent).unwrap();
+                sent += 1;
+            }
+        }
+        // After warm-up, one value per cycle: 99 delivered over 100 cycles.
+        assert_eq!(received.len(), 99);
+        assert!(received.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn depth_one_is_half_throughput() {
+        let mut f: Fifo<u64> = Fifo::new(1);
+        let mut delivered = 0;
+        let mut next = 0u64;
+        for _cycle in 0..100 {
+            f.begin_cycle();
+            if f.pop().is_some() {
+                delivered += 1;
+            }
+            if f.can_push() {
+                f.push(next).unwrap();
+                next += 1;
+            }
+        }
+        // Push and pop alternate: ~50% throughput.
+        assert_eq!(delivered, 50);
+    }
+
+    #[test]
+    fn push_error_returns_value() {
+        let mut f: Fifo<String> = Fifo::new(1);
+        f.begin_cycle();
+        f.push("a".to_owned()).unwrap();
+        let err = f.push("b".to_owned()).unwrap_err();
+        assert_eq!(err.0, "b");
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f: Fifo<u32> = Fifo::new(8);
+        f.begin_cycle();
+        for i in 0..8 {
+            f.push(i).unwrap();
+        }
+        f.begin_cycle();
+        for i in 0..8 {
+            assert_eq!(f.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut f: Fifo<u32> = Fifo::new(2);
+        f.begin_cycle();
+        f.push(1).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.can_pop());
+        f.begin_cycle();
+        assert!(f.can_push());
+    }
+
+    #[test]
+    fn register_slice_one_cycle_latency() {
+        let mut s: RegisterSlice<u32> = RegisterSlice::new();
+        s.begin_cycle();
+        s.push(42).unwrap();
+        assert_eq!(s.pop(), None);
+        s.begin_cycle();
+        assert_eq!(s.pop(), Some(42));
+    }
+}

@@ -1,0 +1,58 @@
+//! # simkit — cycle-accurate simulation primitives
+//!
+//! This crate provides the small, dependency-free substrate on which the
+//! PATRONoC NoC simulators (`patronoc` and `packetnoc`) are built:
+//!
+//! * [`Fifo`] — a bounded queue with *two-phase* (snapshot) semantics that
+//!   models a registered valid/ready channel: values pushed in a cycle become
+//!   visible to the consumer only in the next cycle, and slots freed by a pop
+//!   become available to the producer only in the next cycle. With a depth of
+//!   two this behaves exactly like a full-throughput AXI register slice
+//!   ("cut" in the paper's Table I).
+//! * [`RegisterSlice`] — a depth-2 [`Fifo`] newtype for readability.
+//! * [`RoundRobinArbiter`] — the work-conserving round-robin arbiter used at
+//!   every crossbar output port.
+//! * [`Rng`] — a deterministic xoshiro256** PRNG so every simulation is
+//!   exactly reproducible from its seed.
+//! * [`stats`] — counters, Welford mean/variance, log-2 histograms and a
+//!   windowed throughput meter.
+//!
+//! ## Two-phase discipline
+//!
+//! A simulation cycle proceeds as:
+//!
+//! 1. call [`Fifo::begin_cycle`] on every channel (snapshot occupancy),
+//! 2. let every component observe (`peek`/`can_push`) and act (`push`/`pop`)
+//!    in *any* order — the snapshot makes results order-independent,
+//! 3. advance the cycle counter.
+//!
+//! ```
+//! use simkit::Fifo;
+//!
+//! let mut ch: Fifo<u32> = Fifo::new(2);
+//! ch.begin_cycle();
+//! ch.push(7).unwrap();
+//! assert!(ch.pop().is_none()); // not visible until next cycle (registered)
+//! ch.begin_cycle();
+//! assert_eq!(ch.pop(), Some(7));
+//! ```
+//!
+pub mod arbiter;
+pub mod fifo;
+pub mod rng;
+pub mod stats;
+
+pub use arbiter::RoundRobinArbiter;
+pub use fifo::{Fifo, PushError, RegisterSlice};
+pub use rng::Rng;
+pub use stats::{Histogram, RunningStats, ThroughputMeter};
+
+/// Simulation time in clock cycles.
+///
+/// All PATRONoC evaluations in the paper run endpoints and NoC at a single
+/// 1 GHz clock, so one cycle equals one nanosecond when converting to
+/// bytes-per-second throughput (see [`stats::ThroughputMeter`]).
+pub type Cycle = u64;
+
+/// Clock frequency assumed throughout the paper's evaluation (1 GHz).
+pub const CLOCK_HZ: f64 = 1.0e9;

@@ -1,0 +1,97 @@
+//! Model-based property tests: the two-phase [`simkit::Fifo`] must behave
+//! like a reference queue with one-cycle visibility/credit delays, for any
+//! interleaving of pushes and pops.
+
+use proptest::prelude::*;
+use simkit::Fifo;
+use std::collections::VecDeque;
+
+/// One cycle's worth of operations.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    Pop,
+    PushPop(u32),
+    Idle,
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u32>().prop_map(Op::Push),
+        Just(Op::Pop),
+        any::<u32>().prop_map(Op::PushPop),
+        Just(Op::Idle),
+    ]
+}
+
+proptest! {
+    /// FIFO order is preserved and nothing is lost or duplicated, for any
+    /// schedule and capacity.
+    #[test]
+    fn fifo_is_a_lossless_queue(
+        capacity in 1usize..8,
+        schedule in prop::collection::vec(ops(), 1..200),
+    ) {
+        let mut fifo: Fifo<u32> = Fifo::new(capacity);
+        let mut pushed: VecDeque<u32> = VecDeque::new();
+        let mut popped: Vec<u32> = Vec::new();
+        for op in &schedule {
+            fifo.begin_cycle();
+            let (push, pop) = match *op {
+                Op::Push(v) => (Some(v), false),
+                Op::Pop => (None, true),
+                Op::PushPop(v) => (Some(v), true),
+                Op::Idle => (None, false),
+            };
+            if pop {
+                if let Some(v) = fifo.pop() {
+                    popped.push(v);
+                }
+            }
+            if let Some(v) = push {
+                if fifo.can_push() {
+                    fifo.push(v).expect("can_push checked");
+                    pushed.push_back(v);
+                }
+            }
+        }
+        // Drain what remains.
+        loop {
+            fifo.begin_cycle();
+            match fifo.pop() {
+                Some(v) => popped.push(v),
+                None => break,
+            }
+        }
+        let expected: Vec<u32> = pushed.into_iter().collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Registered semantics: a value pushed at cycle t is never popped at
+    /// cycle t, and occupancy never exceeds capacity.
+    #[test]
+    fn visibility_and_capacity_invariants(
+        capacity in 1usize..6,
+        schedule in prop::collection::vec(ops(), 1..120),
+    ) {
+        let mut fifo: Fifo<u64> = Fifo::new(capacity);
+        let mut serial: u64 = 0;
+        for (cycle, op) in schedule.iter().enumerate() {
+            fifo.begin_cycle();
+            let cycle = cycle as u64;
+            if matches!(op, Op::Pop | Op::PushPop(_)) {
+                if let Some(tag) = fifo.pop() {
+                    // The tag encodes the push cycle; same-cycle pops are
+                    // a two-phase violation.
+                    prop_assert!(tag < cycle, "popped value pushed this cycle");
+                }
+            }
+            if matches!(op, Op::Push(_) | Op::PushPop(_)) && fifo.can_push() {
+                fifo.push(cycle).expect("can_push checked");
+                serial += 1;
+            }
+            prop_assert!(fifo.len() <= capacity);
+        }
+        let _ = serial;
+    }
+}

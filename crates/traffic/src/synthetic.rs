@@ -1,0 +1,315 @@
+//! Synthetic locality-controlled traffic patterns (paper Fig. 5, Fig. 6).
+//!
+//! Three patterns on an N×M mesh, with masters at every node:
+//!
+//! * **All global access** — every master targets a *single* slave endpoint
+//!   near the mesh center (endpoint (2,1) on the 4×4 mesh), modelling a
+//!   single shared memory tile.
+//! * **Max two-hop access** — slaves at the four center endpoints
+//!   ((1,1), (1,2), (2,1), (2,2) on 4×4), modelling distributed shared
+//!   L2/L1; each master only targets slaves at most two hops away.
+//! * **Max single-hop access** — slaves at the eight edge (non-corner)
+//!   endpoints; each master only targets slaves at most one hop away,
+//!   modelling DNN schedules that place communicating kernels on nearby
+//!   cores.
+//!
+//! Transfer lengths and arrival timing use the same randomized-burst Poisson
+//! process as [`crate::uniform`].
+
+use crate::source::{Transfer, TransferKind, TrafficSource};
+use simkit::{Cycle, Rng};
+
+/// The three synthetic access patterns of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticPattern {
+    /// All masters → one central slave.
+    AllGlobal,
+    /// Four central slaves, destinations at most two hops away.
+    MaxTwoHop,
+    /// Eight edge slaves, destinations at most one hop away.
+    MaxSingleHop,
+}
+
+impl SyntheticPattern {
+    /// The slave endpoints this pattern instantiates on a `cols`×`rows`
+    /// mesh (node index = `y * cols + x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is smaller than 3×3 (the edge/center structure of
+    /// the patterns needs at least that).
+    #[must_use]
+    pub fn slave_nodes(self, cols: usize, rows: usize) -> Vec<usize> {
+        assert!(cols >= 3 && rows >= 3, "pattern needs at least a 3x3 mesh");
+        let node = |x: usize, y: usize| y * cols + x;
+        match self {
+            Self::AllGlobal => vec![node(cols / 2, (rows - 1) / 2)],
+            Self::MaxTwoHop => {
+                let xs = [(cols - 1) / 2, cols / 2];
+                let ys = [(rows - 1) / 2, rows / 2];
+                let mut v: Vec<usize> = ys
+                    .iter()
+                    .flat_map(|&y| xs.iter().map(move |&x| node(x, y)))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            Self::MaxSingleHop => {
+                let mut v = Vec::new();
+                for y in 0..rows {
+                    for x in 0..cols {
+                        let on_edge =
+                            x == 0 || y == 0 || x == cols - 1 || y == rows - 1;
+                        let corner = (x == 0 || x == cols - 1) && (y == 0 || y == rows - 1);
+                        if on_edge && !corner {
+                            v.push(node(x, y));
+                        }
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// The hop-distance restriction the pattern imposes on destination
+    /// choice (`None` = unrestricted).
+    #[must_use]
+    pub fn max_hops(self) -> Option<u32> {
+        match self {
+            Self::AllGlobal => None,
+            Self::MaxTwoHop => Some(2),
+            Self::MaxSingleHop => Some(1),
+        }
+    }
+}
+
+/// Configuration for [`SyntheticTraffic`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Mesh width.
+    pub cols: usize,
+    /// Mesh height.
+    pub rows: usize,
+    /// Which Fig. 5 pattern to generate.
+    pub pattern: SyntheticPattern,
+    /// Injected load in `(0, 1]` (1.0 = "maximum injected load", Fig. 6).
+    pub load: f64,
+    /// Payload bytes per beat (DW/8); defines load 1.0.
+    pub bytes_per_cycle: f64,
+    /// Maximum DMA transfer length in bytes.
+    pub max_transfer: u64,
+    /// Fraction of reads.
+    pub read_fraction: f64,
+    /// Per-endpoint address region size.
+    pub region_size: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Synthetic pattern generator; masters at every mesh node.
+#[derive(Debug, Clone)]
+pub struct SyntheticTraffic {
+    cfg: SyntheticConfig,
+    /// Eligible destination list per master.
+    eligible: Vec<Vec<usize>>,
+    per_master: Vec<(Rng, f64, u64)>, // (rng, next_arrival, serial)
+    mean_gap: f64,
+}
+
+fn hop_distance(cols: usize, a: usize, b: usize) -> u32 {
+    let (ax, ay) = (a % cols, a / cols);
+    let (bx, by) = (b % cols, b / cols);
+    (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+}
+
+impl SyntheticTraffic {
+    /// Creates the generator, computing each master's eligible destination
+    /// set from the pattern's slave placement and hop restriction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a master ends up with no eligible destination (cannot
+    /// happen for meshes ≥ 3×3 with the built-in patterns) or if the
+    /// configuration is degenerate.
+    #[must_use]
+    pub fn new(cfg: SyntheticConfig) -> Self {
+        assert!(cfg.load > 0.0 && cfg.max_transfer > 0);
+        let n = cfg.cols * cfg.rows;
+        let slaves = cfg.pattern.slave_nodes(cfg.cols, cfg.rows);
+        let eligible: Vec<Vec<usize>> = (0..n)
+            .map(|m| {
+                let list: Vec<usize> = slaves
+                    .iter()
+                    .copied()
+                    .filter(|&s| match cfg.pattern.max_hops() {
+                        None => true,
+                        Some(h) => hop_distance(cfg.cols, m, s) <= h,
+                    })
+                    .collect();
+                assert!(!list.is_empty(), "master {m} has no eligible slave");
+                list
+            })
+            .collect();
+        let mean_size = (1.0 + cfg.max_transfer as f64) / 2.0;
+        let mean_gap = mean_size / (cfg.load * cfg.bytes_per_cycle);
+        let root = Rng::new(cfg.seed);
+        let per_master = (0..n)
+            .map(|m| {
+                let mut rng = root.fork(m as u64 + 1);
+                let first = rng.gen_f64() * mean_gap;
+                (rng, first, 0u64)
+            })
+            .collect();
+        Self {
+            cfg,
+            eligible,
+            per_master,
+            mean_gap,
+        }
+    }
+
+    /// The slave endpoints instantiated by this configuration.
+    #[must_use]
+    pub fn slave_nodes(&self) -> Vec<usize> {
+        self.cfg.pattern.slave_nodes(self.cfg.cols, self.cfg.rows)
+    }
+
+    /// Eligible destinations of one master.
+    #[must_use]
+    pub fn eligible(&self, master: usize) -> &[usize] {
+        &self.eligible[master]
+    }
+}
+
+impl TrafficSource for SyntheticTraffic {
+    fn poll(&mut self, master: usize, now: Cycle) -> Option<Transfer> {
+        let (rng, next_arrival, serial) = &mut self.per_master[master];
+        if *next_arrival > now as f64 {
+            return None;
+        }
+        let u = rng.gen_f64().max(f64::MIN_POSITIVE);
+        *next_arrival += -u.ln() * self.mean_gap;
+        let bytes = rng.gen_range_inclusive(1, self.cfg.max_transfer);
+        let list = &self.eligible[master];
+        let dst = list[rng.gen_range(list.len() as u64) as usize];
+        let max_offset = self.cfg.region_size.saturating_sub(bytes);
+        let offset = if max_offset == 0 {
+            0
+        } else {
+            rng.gen_range(max_offset)
+        };
+        let kind = if rng.gen_bool(self.cfg.read_fraction) {
+            TransferKind::Read
+        } else {
+            TransferKind::Write
+        };
+        *serial += 1;
+        Some(Transfer {
+            id: (master as u64) << 48 | *serial,
+            dst,
+            offset,
+            bytes,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pattern: SyntheticPattern) -> SyntheticConfig {
+        SyntheticConfig {
+            cols: 4,
+            rows: 4,
+            pattern,
+            load: 1.0,
+            bytes_per_cycle: 4.0,
+            max_transfer: 1000,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn all_global_single_center_slave() {
+        // Paper: endpoint (2, 1) on the 4×4 mesh.
+        let slaves = SyntheticPattern::AllGlobal.slave_nodes(4, 4);
+        assert_eq!(slaves, vec![6]); // (x=2, y=1) → 1·4 + 2
+    }
+
+    #[test]
+    fn two_hop_center_four() {
+        // Paper: (1,1), (1,2), (2,1), (2,2).
+        let slaves = SyntheticPattern::MaxTwoHop.slave_nodes(4, 4);
+        assert_eq!(slaves, vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn single_hop_eight_edges() {
+        let slaves = SyntheticPattern::MaxSingleHop.slave_nodes(4, 4);
+        assert_eq!(slaves, vec![1, 2, 4, 7, 8, 11, 13, 14]);
+    }
+
+    #[test]
+    fn two_hop_destinations_within_two_hops() {
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::MaxTwoHop));
+        for m in 0..16 {
+            for &d in src.eligible(m) {
+                assert!(hop_distance(4, m, d) <= 2, "master {m} → {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_hop_destinations_within_one_hop() {
+        let mut src = SyntheticTraffic::new(cfg(SyntheticPattern::MaxSingleHop));
+        for m in 0..16 {
+            assert!(!src.eligible(m).is_empty());
+        }
+        for now in 0..1000 {
+            for m in 0..16 {
+                while let Some(t) = src.poll(m, now) {
+                    assert!(hop_distance(4, m, t.dst) <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_global_targets_only_center() {
+        let mut src = SyntheticTraffic::new(cfg(SyntheticPattern::AllGlobal));
+        for now in 0..200 {
+            for m in 0..16 {
+                while let Some(t) = src.poll(m, now) {
+                    assert_eq!(t.dst, 6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_master_has_single_hop_choice() {
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::MaxSingleHop));
+        // Corner (0,0) = node 0: neighbors (1,0)=1 and (0,1)=4 are slaves.
+        let mut e = src.eligible(0).to_vec();
+        e.sort_unstable();
+        assert_eq!(e, vec![1, 4]);
+    }
+
+    #[test]
+    fn slave_node_itself_allowed_in_single_hop() {
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::MaxSingleHop));
+        // Node 1 hosts a slave; distance 0 ≤ 1, so it may target itself
+        // (local-port traffic, Fig. 5 inset).
+        assert!(src.eligible(1).contains(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_mesh_rejected() {
+        let _ = SyntheticPattern::AllGlobal.slave_nodes(2, 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Uniform random traffic with Poisson arrivals (paper Fig. 4).
+//!
+//! Every master injects transfers whose destination is uniformly random
+//! among the slave endpoints (excluding itself), whose length is uniformly
+//! random in `[1, max_transfer]` bytes ("the workload-specific burst length
+//! is randomized within a user-defined range", §IV) and whose arrival
+//! process is Poisson with a rate set by the *injected load*: at load 1.0 a
+//! master offers one full data-bus-width of payload per cycle.
+
+use crate::source::{Transfer, TransferKind, TrafficSource};
+use simkit::{Cycle, Rng};
+
+/// Configuration for [`UniformRandom`].
+#[derive(Debug, Clone)]
+pub struct UniformConfig {
+    /// Number of master endpoints (indexed `0..masters`).
+    pub masters: usize,
+    /// Endpoint indices that host addressable slaves.
+    pub slaves: Vec<usize>,
+    /// Injected load in `(0, 1]`: fraction of one bus width of payload
+    /// offered per cycle per master.
+    pub load: f64,
+    /// Payload bytes one data beat carries (DW/8); defines load 1.0.
+    pub bytes_per_cycle: f64,
+    /// Maximum DMA transfer (burst) length in bytes; lengths are uniform in
+    /// `[1, max_transfer]`.
+    pub max_transfer: u64,
+    /// Fraction of transfers that are reads (the rest are writes). Ignored
+    /// when `copies` is set.
+    pub read_fraction: f64,
+    /// Size of each slave's address region (offsets are kept in range).
+    pub region_size: u64,
+    /// RNG seed; a (seed, config) pair fully determines the workload.
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MasterState {
+    rng: Rng,
+    /// Fractional next-arrival time (cycles).
+    next_arrival: f64,
+    serial: u64,
+}
+
+/// Poisson uniform-random transfer generator.
+///
+/// See the [module documentation](self) and [`UniformConfig`].
+#[derive(Debug, Clone)]
+pub struct UniformRandom {
+    cfg: UniformConfig,
+    per_master: Vec<MasterState>,
+    mean_gap: f64,
+    copies: bool,
+}
+
+impl UniformRandom {
+    /// Creates a generator of memory-to-memory copies: each transfer has a
+    /// random *source and* destination slave (the paper's Fig. 4 DMA
+    /// semantics — payload crosses the NoC twice, is counted once).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new); additionally needs at least two slaves.
+    #[must_use]
+    pub fn new_copies(cfg: UniformConfig) -> Self {
+        assert!(cfg.slaves.len() >= 2, "copies need two distinct slaves");
+        let mut s = Self::new(cfg);
+        s.copies = true;
+        s
+    }
+
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no masters, no slaves,
+    /// non-positive load, or zero `max_transfer`).
+    #[must_use]
+    pub fn new(cfg: UniformConfig) -> Self {
+        assert!(cfg.masters > 0, "need at least one master");
+        assert!(!cfg.slaves.is_empty(), "need at least one slave");
+        assert!(cfg.load > 0.0, "load must be positive");
+        assert!(cfg.max_transfer > 0, "max transfer must be positive");
+        assert!(
+            cfg.max_transfer <= cfg.region_size,
+            "transfers must fit in a region"
+        );
+        let mean_size = (1.0 + cfg.max_transfer as f64) / 2.0;
+        // Offered bytes/cycle = load × bytes_per_cycle = mean_size / mean_gap.
+        let mean_gap = mean_size / (cfg.load * cfg.bytes_per_cycle);
+        let root = Rng::new(cfg.seed);
+        let per_master = (0..cfg.masters)
+            .map(|m| {
+                let mut rng = root.fork(m as u64 + 1);
+                // Desynchronize the first arrivals.
+                let first = rng.gen_f64() * mean_gap;
+                MasterState {
+                    rng,
+                    next_arrival: first,
+                    serial: 0,
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            per_master,
+            mean_gap,
+            copies: false,
+        }
+    }
+
+    /// The mean inter-arrival gap in cycles implied by the configuration.
+    #[must_use]
+    pub fn mean_gap(&self) -> f64 {
+        self.mean_gap
+    }
+
+    fn pick_dst(cfg: &UniformConfig, rng: &mut Rng, master: usize) -> usize {
+        // Uniform over slaves, excluding the master's own node when present.
+        loop {
+            let idx = rng.gen_range(cfg.slaves.len() as u64) as usize;
+            let dst = cfg.slaves[idx];
+            if dst != master || cfg.slaves.len() == 1 {
+                return dst;
+            }
+        }
+    }
+}
+
+impl TrafficSource for UniformRandom {
+    fn poll(&mut self, master: usize, now: Cycle) -> Option<Transfer> {
+        let st = &mut self.per_master[master];
+        if st.next_arrival > now as f64 {
+            return None;
+        }
+        // Exponential inter-arrival (Poisson process).
+        let u = st.rng.gen_f64().max(f64::MIN_POSITIVE);
+        st.next_arrival += -u.ln() * self.mean_gap;
+        let bytes = st.rng.gen_range_inclusive(1, self.cfg.max_transfer);
+        let dst = Self::pick_dst(&self.cfg, &mut st.rng, master);
+        let max_offset = self.cfg.region_size - bytes;
+        let gen_offset = |rng: &mut Rng| {
+            if max_offset == 0 {
+                0
+            } else {
+                rng.gen_range(max_offset)
+            }
+        };
+        let offset = gen_offset(&mut st.rng);
+        let kind = if self.copies {
+            // Random source distinct from the destination.
+            let src = loop {
+                let idx = st.rng.gen_range(self.cfg.slaves.len() as u64) as usize;
+                let s = self.cfg.slaves[idx];
+                if s != dst {
+                    break s;
+                }
+            };
+            TransferKind::Copy {
+                src,
+                src_offset: gen_offset(&mut st.rng),
+            }
+        } else if st.rng.gen_bool(self.cfg.read_fraction) {
+            TransferKind::Read
+        } else {
+            TransferKind::Write
+        };
+        st.serial += 1;
+        Some(Transfer {
+            id: (master as u64) << 48 | st.serial,
+            dst,
+            offset,
+            bytes,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(load: f64, max_transfer: u64) -> UniformConfig {
+        UniformConfig {
+            masters: 16,
+            slaves: (0..16).collect(),
+            load,
+            bytes_per_cycle: 4.0,
+            max_transfer,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed: 7,
+        }
+    }
+
+    /// Drain all arrivals for `cycles` cycles and return them.
+    fn drain(src: &mut UniformRandom, master: usize, cycles: u64) -> Vec<Transfer> {
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            while let Some(t) = src.poll(master, now) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn copies_have_distinct_random_sources() {
+        let mut src = UniformRandom::new_copies(cfg(1.0, 64));
+        let transfers = drain(&mut src, 2, 20_000);
+        assert!(!transfers.is_empty());
+        let mut sources = std::collections::HashSet::new();
+        for t in &transfers {
+            match t.kind {
+                TransferKind::Copy { src, src_offset } => {
+                    assert_ne!(src, t.dst, "source must differ from destination");
+                    assert!(src_offset + t.bytes <= 1 << 24);
+                    sources.insert(src);
+                }
+                other => panic!("expected a copy, got {other:?}"),
+            }
+        }
+        assert!(sources.len() > 8, "sources cover the slaves: {sources:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct slaves")]
+    fn copies_require_two_slaves() {
+        let mut c = cfg(1.0, 64);
+        c.slaves = vec![3];
+        let _ = UniformRandom::new_copies(c);
+    }
+
+    #[test]
+    fn offered_load_matches_request() {
+        let mut src = UniformRandom::new(cfg(0.5, 100));
+        let cycles = 200_000;
+        let transfers = drain(&mut src, 0, cycles);
+        let bytes: u64 = transfers.iter().map(|t| t.bytes).sum();
+        let offered = bytes as f64 / cycles as f64;
+        let expected = 0.5 * 4.0;
+        assert!(
+            (offered - expected).abs() / expected < 0.05,
+            "offered {offered} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sizes_within_range() {
+        let mut src = UniformRandom::new(cfg(1.0, 1000));
+        for t in drain(&mut src, 3, 10_000) {
+            assert!((1..=1000).contains(&t.bytes));
+            assert!(t.offset + t.bytes <= 1 << 24);
+        }
+    }
+
+    #[test]
+    fn destinations_cover_all_other_slaves() {
+        let mut src = UniformRandom::new(cfg(1.0, 4));
+        let transfers = drain(&mut src, 5, 20_000);
+        let mut seen = [false; 16];
+        for t in &transfers {
+            assert_ne!(t.dst, 5, "self traffic excluded");
+            seen[t.dst] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 15);
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut c = cfg(1.0, 64);
+        c.read_fraction = 0.25;
+        let mut src = UniformRandom::new(c);
+        let transfers = drain(&mut src, 0, 100_000);
+        let reads = transfers
+            .iter()
+            .filter(|t| t.kind == TransferKind::Read)
+            .count() as f64;
+        let frac = reads / transfers.len() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = UniformRandom::new(cfg(0.3, 500));
+        let mut b = UniformRandom::new(cfg(0.3, 500));
+        assert_eq!(drain(&mut a, 2, 5000), drain(&mut b, 2, 5000));
+    }
+
+    #[test]
+    fn masters_are_decorrelated() {
+        let mut src = UniformRandom::new(cfg(1.0, 100));
+        let a = drain(&mut src, 0, 2000);
+        let b = drain(&mut src, 1, 2000);
+        assert_ne!(a.first().map(|t| t.bytes), b.first().map(|t| t.bytes));
+    }
+
+    #[test]
+    fn ids_are_unique_per_master() {
+        let mut src = UniformRandom::new(cfg(1.0, 16));
+        let transfers = drain(&mut src, 4, 5000);
+        let mut ids: Vec<u64> = transfers.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), transfers.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be positive")]
+    fn zero_load_rejected() {
+        let _ = UniformRandom::new(cfg(0.0, 100));
+    }
+}

@@ -1,0 +1,52 @@
+//! Build NoCs from the same crosspoint on *different topologies* — the
+//! modularity §II claims ("any regular topology, such as a torus,
+//! butterfly, or ring, can also be modularly built using our building
+//! blocks") — and verify the routing is deadlock-free before simulating.
+//!
+//! ```sh
+//! cargo run --release --example custom_topology
+//! ```
+
+use axi::AxiParams;
+use patronoc::routing::validate_deadlock_free;
+use patronoc::{NocConfig, NocSim, RoutingAlgorithm, Topology};
+use traffic::{UniformConfig, UniformRandom};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let axi = AxiParams::new(32, 64, 4, 8)?;
+    for topo in [
+        Topology::mesh4x4(),
+        Topology::Torus { cols: 4, rows: 4 },
+        Topology::Ring { nodes: 16 },
+        Topology::Mesh { cols: 8, rows: 2 },
+    ] {
+        // The channel-dependency-graph check the mesh's YX routing passes
+        // by construction; rings pass via chain routing.
+        validate_deadlock_free(topo, RoutingAlgorithm::YxDimensionOrder)
+            .map_err(|cycle| format!("{topo}: dependency cycle {cycle:?}"))?;
+
+        let n = topo.num_nodes();
+        let mut sim = NocSim::new(NocConfig::new(axi, topo))?;
+        let mut src = UniformRandom::new_copies(UniformConfig {
+            masters: n,
+            slaves: (0..n).collect(),
+            load: 0.8,
+            bytes_per_cycle: axi.bytes_per_beat() as f64,
+            max_transfer: 2048,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed: 11,
+        });
+        let report = sim.run(&mut src, 60_000, 10_000);
+        println!(
+            "{topo:<14} deadlock-free ✓   {:7.2} GiB/s, mean latency {:5.1} cycles",
+            report.throughput_gib_s, report.mean_latency
+        );
+    }
+    println!();
+    println!("Note: torus wrap links are wired but routed around — shortest-path");
+    println!("wrap routing has cyclic channel dependencies that plain AXI channels");
+    println!("(no virtual channels) cannot break; validate_deadlock_free() proves");
+    println!("the restriction. The ring similarly routes as a chain.");
+    Ok(())
+}

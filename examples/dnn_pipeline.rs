@@ -1,0 +1,57 @@
+//! Deploy a depth-first (pipelined) CNN across the 16 cores of a wide
+//! PATRONoC mesh — the workload the paper's abstract headlines with
+//! "up to 310 GiB/s aggregated throughput" — and compare it against the
+//! layer-parallel schedule of the same network.
+//!
+//! ```sh
+//! cargo run --release --example dnn_pipeline
+//! ```
+
+use patronoc::{NocConfig, NocSim};
+use traffic::dnn::DnnConfig;
+use traffic::{DnnTraffic, DnnWorkload};
+
+fn run(workload: DnnWorkload) -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's wide NoC: AXI_32_512_4, MOT = 8 on the 4×4 mesh.
+    let mut sim = NocSim::new(NocConfig::wide_4x4())?;
+
+    // Generate the transfer trace from a ResNet-34 layer graph: the
+    // pipelined schedule partitions the network across cores 0..15 and
+    // streams image tiles core-to-core; the parallel schedule tiles every
+    // layer across all cores through the shared L2.
+    let cfg = DnnConfig {
+        steps: 2, // images
+        ..DnnConfig::for_workload(workload)
+    };
+    let mut trace = DnnTraffic::new(&cfg);
+    println!(
+        "{:>9}: {} transfers, {:.1} MiB total, {:.0} % core-to-core",
+        workload.name(),
+        trace.len(),
+        trace.total_bytes() as f64 / (1 << 20) as f64,
+        100.0 * trace.core_to_core_fraction(cfg.l2_node),
+    );
+
+    let report = sim.run(&mut trace, 100_000_000, 0);
+    println!(
+        "{:>9}: {:.1} GiB/s aggregate over {} cycles ({} transfers)",
+        workload.name(),
+        report.throughput_gib_s,
+        report.cycles,
+        report.transfers_completed
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for workload in [DnnWorkload::PipelinedConv, DnnWorkload::ParallelConv] {
+        run(workload)?;
+    }
+    println!();
+    println!("The pipelined schedule keeps the traffic on short core-to-core paths");
+    println!("and spreads it over many links; the layer-parallel schedule funnels");
+    println!("everything through one shared-L2 endpoint — which is why the paper");
+    println!("argues burst-capable, high-bandwidth NoCs matter for multi-core DNN");
+    println!("platforms.");
+    Ok(())
+}
