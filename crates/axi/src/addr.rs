@@ -153,7 +153,10 @@ impl AddressMap {
     /// The region owned by endpoint `endpoint`, if any.
     #[must_use]
     pub fn region_of(&self, endpoint: usize) -> Option<Region> {
-        self.regions.iter().copied().find(|r| r.endpoint == endpoint)
+        self.regions
+            .iter()
+            .copied()
+            .find(|r| r.endpoint == endpoint)
     }
 
     /// Base address of an endpoint's region.
@@ -211,7 +214,13 @@ mod tests {
             },
         ])
         .unwrap_err();
-        assert_eq!(err, AddrMapError::Overlap { first: 0, second: 1 });
+        assert_eq!(
+            err,
+            AddrMapError::Overlap {
+                first: 0,
+                second: 1
+            }
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ impl OrderingGuard {
     /// Panics if the issue violates [`may_issue`](Self::may_issue).
     pub fn issue(&mut self, id: AxiId, dest: usize) {
         let entry = self.inflight.entry(id).or_insert((dest, 0));
-        assert_eq!(entry.0, dest, "same-ID transaction to different destination");
+        assert_eq!(
+            entry.0, dest,
+            "same-ID transaction to different destination"
+        );
         entry.1 += 1;
     }
 
@@ -195,7 +198,10 @@ impl OrderingGuard {
     ///
     /// Panics on completion of a transaction that was never issued.
     pub fn complete(&mut self, id: AxiId) {
-        let entry = self.inflight.get_mut(&id).expect("completion without issue");
+        let entry = self
+            .inflight
+            .get_mut(&id)
+            .expect("completion without issue");
         entry.1 -= 1;
         if entry.1 == 0 {
             self.inflight.remove(&id);

@@ -177,12 +177,7 @@ impl AxiParams {
 
 impl fmt::Display for AxiParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} (MOT={})",
-            self.label(),
-            self.max_outstanding
-        )
+        write!(f, "{} (MOT={})", self.label(), self.max_outstanding)
     }
 }
 

@@ -107,7 +107,11 @@ mod tests {
             assert_eq!(b.addr(), cur, "contiguous");
             assert_eq!(b.burst_type(), BurstType::Incr);
             assert!(b.num_beats() <= MAX_INCR_BEATS);
-            assert!(!b.crosses_4k_boundary(), "no 4k crossing at {:#x}", b.addr());
+            assert!(
+                !b.crosses_4k_boundary(),
+                "no 4k crossing at {:#x}",
+                b.addr()
+            );
             cur += b.payload_bytes();
         }
     }
@@ -186,7 +190,11 @@ mod tests {
                 .iter()
                 .map(Burst::num_beats)
                 .sum();
-            assert_eq!(split_total, transfer_beats(addr, len, bb), "{addr:#x}+{len}");
+            assert_eq!(
+                split_total,
+                transfer_beats(addr, len, bb),
+                "{addr:#x}+{len}"
+            );
         }
     }
 

@@ -45,13 +45,21 @@ fn main() {
     for mot in [1u32, 2, 4, 8, 16, 32] {
         let axi = AxiParams::new(32, 32, 4, mot).expect("mot sweep");
         let (thr_s, _) = run(NocConfig::new(axi, Topology::mesh4x4()), 1.0, 1000, window);
-        let (thr_l, lat) = run(NocConfig::new(axi, Topology::mesh4x4()), 1.0, 64_000, window);
+        let (thr_l, lat) = run(
+            NocConfig::new(axi, Topology::mesh4x4()),
+            1.0,
+            64_000,
+            window,
+        );
         println!("{mot:>6} {thr_s:>14.2} {thr_l:>14.2} {lat:>14.1}");
     }
 
     println!();
     println!("Ablation 2 — register slices per channel vs latency (slim 4x4, light load)");
-    println!("{:>8} {:>14} {:>14}", "slices", "thr (GiB/s)", "mean lat (cyc)");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "slices", "thr (GiB/s)", "mean lat (cyc)"
+    );
     for stages in [1usize, 2, 4] {
         let mut cfg = NocConfig::slim_4x4();
         cfg.link_stages = stages;
@@ -61,7 +69,10 @@ fn main() {
 
     println!();
     println!("Ablation 3 — XBAR connectivity (slim 4x4, burst<1000, max load)");
-    for (conn, name) in [(Connectivity::Partial, "partial"), (Connectivity::Full, "full")] {
+    for (conn, name) in [
+        (Connectivity::Partial, "partial"),
+        (Connectivity::Full, "full"),
+    ] {
         let mut cfg = NocConfig::slim_4x4();
         cfg.connectivity = conn;
         let (thr, _) = run(cfg, 1.0, 1000, window);
@@ -87,12 +98,7 @@ fn main() {
         Topology::Torus { cols: 4, rows: 4 },
         Topology::Ring { nodes: 16 },
     ] {
-        let (thr, lat) = run(
-            NocConfig::new(AxiParams::slim(), topo),
-            1.0,
-            1000,
-            window,
-        );
+        let (thr, lat) = run(NocConfig::new(AxiParams::slim(), topo), 1.0, 1000, window);
         println!("  {topo}: {thr:.2} GiB/s, mean latency {lat:.1} cyc");
     }
 }

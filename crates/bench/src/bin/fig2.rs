@@ -11,7 +11,10 @@ fn main() {
     let model = AreaModel::calibrated();
     let topo = Topology::mesh2x2();
     println!("Fig. 2 — 2x2 mesh: area vs bisection bandwidth (one-way counting, 1 GHz)");
-    println!("{:>16} {:>12} {:>16} {:>18}", "config", "area (kGE)", "bisection (Gb/s)", "efficiency (Gb/s/kGE)");
+    println!(
+        "{:>16} {:>12} {:>16} {:>18}",
+        "config", "area (kGE)", "bisection (Gb/s)", "efficiency (Gb/s/kGE)"
+    );
     let configs = [
         (32, 32),
         (32, 64),

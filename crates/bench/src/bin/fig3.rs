@@ -10,7 +10,10 @@ fn main() {
     let model = AreaModel::calibrated();
     let topo = Topology::mesh4x4();
     println!("Fig. 3 (left) — 4x4 mesh: area vs bisection bandwidth (one-way, 1 GHz)");
-    println!("{:>16} {:>12} {:>16}", "config", "area (kGE)", "bisection (Gb/s)");
+    println!(
+        "{:>16} {:>12} {:>16}",
+        "config", "area (kGE)", "bisection (Gb/s)"
+    );
     for (aw, dw) in [(32, 32), (32, 64), (32, 128), (32, 512), (64, 64)] {
         let axi = AxiParams::new(aw, dw, 4, 1).expect("fig3 sweep params are valid");
         println!(

@@ -12,7 +12,11 @@ use packetnoc::PacketNocConfig;
 
 fn main() {
     let quick = std::env::var_os("FIG4_QUICK").is_some();
-    let (window, warmup) = if quick { (30_000, 6_000) } else { (WINDOW, WARMUP) };
+    let (window, warmup) = if quick {
+        (30_000, 6_000)
+    } else {
+        (WINDOW, WARMUP)
+    };
     let loads: Vec<f64> = if quick {
         vec![0.001, 0.01, 0.1, 0.5, 1.0]
     } else {

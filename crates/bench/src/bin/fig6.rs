@@ -10,7 +10,11 @@ use traffic::SyntheticPattern;
 
 fn main() {
     let quick = std::env::var_os("FIG6_QUICK").is_some();
-    let (window, warmup) = if quick { (30_000, 6_000) } else { (WINDOW, WARMUP) };
+    let (window, warmup) = if quick {
+        (30_000, 6_000)
+    } else {
+        (WINDOW, WARMUP)
+    };
     let patterns = [
         (SyntheticPattern::AllGlobal, "All Global Access"),
         (SyntheticPattern::MaxTwoHop, "Max 2 Hop Access"),

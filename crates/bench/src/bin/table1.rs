@@ -12,15 +12,30 @@ use physical::power::{platform_share, power_mw};
 fn main() {
     println!("Table I — main parameters of the PATRONoC 2D mesh");
     println!("{:<28} {}", "Parameter", "Values (validated)");
-    println!("{:<28} {}", "Mesh Dimension", "N x M (any; evaluated 2x2, 4x4)");
-    println!("{:<28} {}", "Number of AXI Masters", "1 to N*M (default N*M)");
-    println!("{:<28} {}", "Number of AXI Slaves", "1 to N*M (default N*M)");
+    println!(
+        "{:<28} {}",
+        "Mesh Dimension", "N x M (any; evaluated 2x2, 4x4)"
+    );
+    println!(
+        "{:<28} {}",
+        "Number of AXI Masters", "1 to N*M (default N*M)"
+    );
+    println!(
+        "{:<28} {}",
+        "Number of AXI Slaves", "1 to N*M (default N*M)"
+    );
     println!("{:<28} {}", "Data Width", "8 to 1024 bits (powers of two)");
     println!("{:<28} {}", "Address Width", "32 or 64 bits");
     println!("{:<28} {}", "ID Width", "1 to 16 bits");
     println!("{:<28} {}", "Max #Outstanding Trans.", "1 to 128");
-    println!("{:<28} {}", "XBAR Connectivity", "Partial (default) or Full");
-    println!("{:<28} {}", "Register Slice", ">= 1 stage per channel (default 1 = all channels)");
+    println!(
+        "{:<28} {}",
+        "XBAR Connectivity", "Partial (default) or Full"
+    );
+    println!(
+        "{:<28} {}",
+        "Register Slice", ">= 1 stage per channel (default 1 = all channels)"
+    );
     println!();
 
     // Exhaustive-corner validation.
@@ -43,7 +58,9 @@ fn main() {
             }
         }
     }
-    println!("parameter-space sweep: {accepted} corners accepted & instantiated, {rejected} rejected");
+    println!(
+        "parameter-space sweep: {accepted} corners accepted & instantiated, {rejected} rejected"
+    );
 
     println!();
     println!("§III power model (4x4, 1 GHz, uniform random traffic):");

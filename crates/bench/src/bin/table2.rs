@@ -19,19 +19,110 @@ struct Row {
 
 fn main() {
     let rows = [
-        Row { work: "SpiNNaker", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "5 (async)" },
-        Row { work: "Reza et al.", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "4000" },
-        Row { work: "MCM", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "35" },
-        Row { work: "MC-NoC", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "2368" },
-        Row { work: "NeuNoC", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "-" },
-        Row { work: "TETRIS", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "-" },
-        Row { work: "PUMA", open_source: "no", full_axi: "no", burst: "no", configurable: "no", bw_gbps: "-" },
-        Row { work: "OpenSoC", open_source: "yes", full_axi: "no (AXI-Lite)", burst: "no", configurable: "yes", bw_gbps: "-" },
-        Row { work: "ESP-SoC", open_source: "yes", full_axi: "no", burst: "no", configurable: "limited", bw_gbps: "351" },
-        Row { work: "Celerity", open_source: "yes", full_axi: "no", burst: "no", configurable: "limited", bw_gbps: "80" },
-        Row { work: "FlexNoC", open_source: "no", full_axi: "no", burst: "no", configurable: "-", bw_gbps: "-" },
-        Row { work: "Constellation", open_source: "yes", full_axi: "no", burst: "no", configurable: "yes", bw_gbps: "-" },
-        Row { work: "Kurth et al. [9]", open_source: "yes", full_axi: "yes", burst: "yes", configurable: "yes", bw_gbps: "2146" },
+        Row {
+            work: "SpiNNaker",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "5 (async)",
+        },
+        Row {
+            work: "Reza et al.",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "4000",
+        },
+        Row {
+            work: "MCM",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "35",
+        },
+        Row {
+            work: "MC-NoC",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "2368",
+        },
+        Row {
+            work: "NeuNoC",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "-",
+        },
+        Row {
+            work: "TETRIS",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "-",
+        },
+        Row {
+            work: "PUMA",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "no",
+            bw_gbps: "-",
+        },
+        Row {
+            work: "OpenSoC",
+            open_source: "yes",
+            full_axi: "no (AXI-Lite)",
+            burst: "no",
+            configurable: "yes",
+            bw_gbps: "-",
+        },
+        Row {
+            work: "ESP-SoC",
+            open_source: "yes",
+            full_axi: "no",
+            burst: "no",
+            configurable: "limited",
+            bw_gbps: "351",
+        },
+        Row {
+            work: "Celerity",
+            open_source: "yes",
+            full_axi: "no",
+            burst: "no",
+            configurable: "limited",
+            bw_gbps: "80",
+        },
+        Row {
+            work: "FlexNoC",
+            open_source: "no",
+            full_axi: "no",
+            burst: "no",
+            configurable: "-",
+            bw_gbps: "-",
+        },
+        Row {
+            work: "Constellation",
+            open_source: "yes",
+            full_axi: "no",
+            burst: "no",
+            configurable: "yes",
+            bw_gbps: "-",
+        },
+        Row {
+            work: "Kurth et al. [9]",
+            open_source: "yes",
+            full_axi: "yes",
+            burst: "yes",
+            configurable: "yes",
+            bw_gbps: "2146",
+        },
     ];
     println!("Table II — comparison with state-of-the-art NoCs (NoC-BW normalized to 1 GHz)");
     println!(

@@ -8,9 +8,8 @@ use axi::AxiParams;
 use packetnoc::{PacketNocConfig, PacketNocSim};
 use patronoc::{NocConfig, NocSim, Topology};
 use traffic::{
-    TrafficSource,
-    DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic, UniformConfig,
-    UniformRandom,
+    DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic, TrafficSource,
+    UniformConfig, UniformRandom,
 };
 
 pub mod defaults {
@@ -270,9 +269,27 @@ mod tests {
     #[test]
     fn synthetic_ordering_matches_fig6() {
         // 1-hop > 2-hop > all-global at large bursts.
-        let global = synthetic_point(32, SyntheticPattern::AllGlobal, 10_000, QUICK_WINDOW, QUICK_WARMUP);
-        let two = synthetic_point(32, SyntheticPattern::MaxTwoHop, 10_000, QUICK_WINDOW, QUICK_WARMUP);
-        let one = synthetic_point(32, SyntheticPattern::MaxSingleHop, 10_000, QUICK_WINDOW, QUICK_WARMUP);
+        let global = synthetic_point(
+            32,
+            SyntheticPattern::AllGlobal,
+            10_000,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+        );
+        let two = synthetic_point(
+            32,
+            SyntheticPattern::MaxTwoHop,
+            10_000,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+        );
+        let one = synthetic_point(
+            32,
+            SyntheticPattern::MaxSingleHop,
+            10_000,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+        );
         assert!(
             one.gib_s > two.gib_s && two.gib_s > global.gib_s,
             "1hop {} 2hop {} global {}",

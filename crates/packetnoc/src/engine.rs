@@ -164,8 +164,7 @@ impl PacketNocSim {
                 }
                 if f.kind == FlitKind::Tail {
                     self.packets_delivered += 1;
-                    self.latency
-                        .record(self.now.saturating_sub(f.injected_at));
+                    self.latency.record(self.now.saturating_sub(f.injected_at));
                     let key = (f.src, f.transfer);
                     let left = self
                         .inflight
@@ -280,9 +279,25 @@ mod tests {
             }
         }
         let mut near = PacketNocSim::new(PacketNocConfig::noxim_compact());
-        let near_report = near.run(&mut Fixed { dst: 1, sent: false, done: false }, 10_000, 0);
+        let near_report = near.run(
+            &mut Fixed {
+                dst: 1,
+                sent: false,
+                done: false,
+            },
+            10_000,
+            0,
+        );
         let mut far = PacketNocSim::new(PacketNocConfig::noxim_compact());
-        let far_report = far.run(&mut Fixed { dst: 15, sent: false, done: false }, 10_000, 0);
+        let far_report = far.run(
+            &mut Fixed {
+                dst: 15,
+                sent: false,
+                done: false,
+            },
+            10_000,
+            0,
+        );
         assert!(
             far_report.mean_packet_latency > near_report.mean_packet_latency + 4.0,
             "far {} vs near {}",

@@ -96,12 +96,7 @@ impl NetworkInterface {
     /// Emits at most one flit this cycle. `try_push` attempts to inject a
     /// flit on the local port of this node's router for a given VC and
     /// returns whether it was accepted.
-    pub fn step<F: FnMut(usize, Flit) -> bool>(
-        &mut self,
-        now: Cycle,
-        vcs: usize,
-        mut try_push: F,
-    ) {
+    pub fn step<F: FnMut(usize, Flit) -> bool>(&mut self, now: Cycle, vcs: usize, mut try_push: F) {
         // Start the next packet if idle.
         if self.emit_left == 0 {
             let ppp = u64::from(self.payload_per_packet);

@@ -164,7 +164,13 @@ impl Router {
         let vcs = self.vcs;
         for out in 0..PORTS {
             // Resolve the downstream buffer base for this output.
-            let ports = [Port::North, Port::East, Port::South, Port::West, Port::Local];
+            let ports = [
+                Port::North,
+                Port::East,
+                Port::South,
+                Port::West,
+                Port::Local,
+            ];
             let out_port = ports[out];
             let down_node = if out == LOCAL {
                 None
@@ -201,8 +207,7 @@ impl Router {
                     let has_credit = match down_node {
                         None => true, // local delivery always accepted
                         Some(nb) => {
-                            let didx =
-                                Self::buf_index(nb, out_port.opposite().index(), v, vcs);
+                            let didx = Self::buf_index(nb, out_port.opposite().index(), v, vcs);
                             bufs[didx].can_push()
                         }
                     };
@@ -377,10 +382,12 @@ mod tests {
         }
         let local0 = Router::buf_index(0, LOCAL, 0, vcs);
         bufs[local0].push(head(1)).unwrap();
-        bufs[local0].push(Flit {
-            kind: FlitKind::Body,
-            ..head(1)
-        }).unwrap();
+        bufs[local0]
+            .push(Flit {
+                kind: FlitKind::Body,
+                ..head(1)
+            })
+            .unwrap();
         for _ in 0..10 {
             for b in &mut bufs {
                 b.begin_cycle();

@@ -6,7 +6,7 @@ use packetnoc::{PacketNocConfig, PacketNocSim};
 use proptest::prelude::*;
 use simkit::Cycle;
 use std::collections::VecDeque;
-use traffic::{Transfer, TrafficSource, TransferKind};
+use traffic::{TrafficSource, Transfer, TransferKind};
 
 struct Scripted {
     queues: Vec<VecDeque<Transfer>>,

@@ -173,10 +173,7 @@ mod tests {
     fn region_bases_are_disjoint() {
         let cfg = NocConfig::slim_4x4();
         for n in 0..15 {
-            assert_eq!(
-                cfg.region_base(n) + cfg.region_size,
-                cfg.region_base(n + 1)
-            );
+            assert_eq!(cfg.region_base(n) + cfg.region_size, cfg.region_base(n + 1));
         }
     }
 }

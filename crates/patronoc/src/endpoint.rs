@@ -236,8 +236,7 @@ impl DmaEngine {
         let mot = self.params.max_outstanding();
         let ids = self.params.unique_ids() as u16;
         if let Some(active) = &mut self.active {
-            if self.outstanding_rd < mot && !active.read_bursts.is_empty() && link.ar.can_push()
-            {
+            if self.outstanding_rd < mot && !active.read_bursts.is_empty() && link.ar.can_push() {
                 let id = AxiId(self.next_id % ids);
                 if self.rd_guard.may_issue(id, active.read_dst) {
                     let burst = active.read_bursts.pop_front().expect("non-empty");
@@ -257,8 +256,7 @@ impl DmaEngine {
                     });
                 }
             }
-            if self.outstanding_wr < mot && !active.write_bursts.is_empty() && link.aw.can_push()
-            {
+            if self.outstanding_wr < mot && !active.write_bursts.is_empty() && link.aw.can_push() {
                 let dst = active.transfer.dst;
                 let id = AxiId(self.next_id % ids);
                 if self.wr_guard.may_issue(id, dst) {
@@ -572,7 +570,10 @@ mod tests {
         // R and W channels are independent, so the legs overlap: the copy
         // takes about one beat-time (512 beats) plus pipeline fill, not two.
         assert!(cycles >= 512, "{cycles} cycles");
-        assert!(cycles < 512 + 100, "{cycles} cycles — legs failed to overlap");
+        assert!(
+            cycles < 512 + 100,
+            "{cycles} cycles — legs failed to overlap"
+        );
     }
 
     #[test]

@@ -107,7 +107,12 @@ impl NocSim {
         for &s in &cfg.slaves {
             let l = alloc(&mut links);
             out_of[s][LOCAL] = Some(l);
-            mems.push(MemorySlave::new(s, l, cfg.mem_latency, cfg.slave_outstanding));
+            mems.push(MemorySlave::new(
+                s,
+                l,
+                cfg.mem_latency,
+                cfg.slave_outstanding,
+            ));
         }
         let xps = (0..n)
             .map(|node| {
@@ -332,7 +337,11 @@ impl NocSim {
             throughput_gib_s: self.meter.throughput_gib_s(self.now),
             throughput_bytes_s: bps,
             transfers_completed: self.transfers_completed(),
-            mean_latency: if count == 0 { 0.0 } else { total / count as f64 },
+            mean_latency: if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            },
             p99_latency: latency.quantile(0.99),
         }
     }
@@ -498,10 +507,7 @@ mod tests {
 
     #[test]
     fn ring_topology_works() {
-        let cfg = NocConfig::new(
-            axi::AxiParams::slim(),
-            crate::Topology::Ring { nodes: 6 },
-        );
+        let cfg = NocConfig::new(axi::AxiParams::slim(), crate::Topology::Ring { nodes: 6 });
         let mut sim = NocSim::new(cfg).unwrap();
         let mut src = OneEach::new(6, 512, TransferKind::Read, |m| (m + 2) % 6);
         let report = sim.run(&mut src, 100_000, 0);
@@ -565,7 +571,10 @@ mod tests {
         };
         // YX routing never requests the extra turns, so behaviour is
         // cycle-identical.
-        assert_eq!(run(crate::Connectivity::Partial), run(crate::Connectivity::Full));
+        assert_eq!(
+            run(crate::Connectivity::Partial),
+            run(crate::Connectivity::Full)
+        );
     }
 
     #[test]
@@ -657,4 +666,3 @@ mod tests {
         assert_eq!(report.transfers_completed, 16);
     }
 }
-

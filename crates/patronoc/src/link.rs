@@ -88,10 +88,7 @@ impl<T> Channel<T> {
         for i in (0..self.stages.len().saturating_sub(1)).rev() {
             if self.stages[i + 1].can_push() && self.stages[i].can_pop() {
                 let v = self.stages[i].pop().expect("can_pop checked");
-                assert!(
-                    self.stages[i + 1].push(v).is_ok(),
-                    "can_push checked above"
-                );
+                assert!(self.stages[i + 1].push(v).is_ok(), "can_push checked above");
             }
         }
     }

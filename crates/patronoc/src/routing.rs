@@ -46,12 +46,7 @@ pub enum Connectivity {
 /// never used), which keeps the channel dependency graph acyclic at the cost
 /// of longer paths — see [`validate_deadlock_free`].
 #[must_use]
-pub fn next_hop(
-    topo: Topology,
-    algo: RoutingAlgorithm,
-    cur: usize,
-    dst: usize,
-) -> Option<Dir> {
+pub fn next_hop(topo: Topology, algo: RoutingAlgorithm, cur: usize, dst: usize) -> Option<Dir> {
     if cur == dst {
         return None;
     }
@@ -314,16 +309,12 @@ mod tests {
 
     #[test]
     fn mesh_yx_is_deadlock_free() {
-        assert!(validate_deadlock_free(
-            Topology::mesh4x4(),
-            RoutingAlgorithm::YxDimensionOrder
-        )
-        .is_ok());
-        assert!(validate_deadlock_free(
-            Topology::mesh2x2(),
-            RoutingAlgorithm::XyDimensionOrder
-        )
-        .is_ok());
+        assert!(
+            validate_deadlock_free(Topology::mesh4x4(), RoutingAlgorithm::YxDimensionOrder).is_ok()
+        );
+        assert!(
+            validate_deadlock_free(Topology::mesh2x2(), RoutingAlgorithm::XyDimensionOrder).is_ok()
+        );
     }
 
     #[test]
@@ -339,7 +330,12 @@ mod tests {
     fn partial_connectivity_forbids_x_to_y_turns_under_yx() {
         let t = Topology::mesh4x4();
         // Interior node 5 = (1,1).
-        let c = xp_connectivity(t, RoutingAlgorithm::YxDimensionOrder, 5, Connectivity::Partial);
+        let c = xp_connectivity(
+            t,
+            RoutingAlgorithm::YxDimensionOrder,
+            5,
+            Connectivity::Partial,
+        );
         // YX: vertical input may turn horizontal...
         assert!(c[Dir::North.port()][Dir::East.port()] || c[Dir::South.port()][Dir::East.port()]);
         // ...but horizontal input must never turn vertical.
@@ -364,7 +360,12 @@ mod tests {
     #[test]
     fn local_to_local_allowed_in_partial() {
         let t = Topology::mesh4x4();
-        let c = xp_connectivity(t, RoutingAlgorithm::YxDimensionOrder, 3, Connectivity::Partial);
+        let c = xp_connectivity(
+            t,
+            RoutingAlgorithm::YxDimensionOrder,
+            3,
+            Connectivity::Partial,
+        );
         // A master talking to its own node's slave uses local → local.
         assert!(c[LOCAL][LOCAL]);
     }
@@ -389,7 +390,12 @@ mod tests {
         let t = Topology::Torus { cols: 4, rows: 4 };
         // Four East channels of row 0 form a cycle in the CDG if each is
         // followed by the next — the checker must be able to represent it.
-        let ring = [(0usize, Dir::East), (1, Dir::East), (2, Dir::East), (3, Dir::East)];
+        let ring = [
+            (0usize, Dir::East),
+            (1, Dir::East),
+            (2, Dir::East),
+            (3, Dir::East),
+        ];
         for &(n, d) in &ring {
             assert!(t.neighbor(n, d).is_some(), "wrap wiring exists");
         }

@@ -23,9 +23,9 @@
 
 use crate::link::AxiLink;
 use crate::routing::{routing_table, xp_connectivity, Connectivity, RoutingAlgorithm};
-use crate::topology::{Topology, PORTS};
 #[cfg(test)]
 use crate::topology::{Dir, LOCAL};
+use crate::topology::{Topology, PORTS};
 use axi::id::{IdRemapper, OrderingGuard, SourceKey};
 use simkit::RoundRobinArbiter;
 use std::collections::VecDeque;
@@ -293,8 +293,7 @@ impl Xp {
             };
             let out_idx = self.out_links[o].expect("eligible output exists");
             let mut beat = links[out_idx].b.pop().expect("eligible beat exists");
-            let key = self
-                .wr_remap[o]
+            let key = self.wr_remap[o]
                 .source_of(beat.id)
                 .expect("response id is mapped");
             self.wr_remap[o].release(beat.id);
@@ -336,8 +335,7 @@ impl Xp {
             let Some(peeked) = links[out_idx].r.peek() else {
                 continue;
             };
-            let key = self
-                .rd_remap[o]
+            let key = self.rd_remap[o]
                 .source_of(peeked.id)
                 .expect("response id is mapped");
             if key.port as usize != i {

@@ -55,8 +55,8 @@ impl EspNoc {
     #[must_use]
     pub fn area_kge_2x2(&self, model: &AreaModel) -> f64 {
         let axi_ref = AxiParams::new(32, 64, 2, 1).expect("reference config is valid");
-        let base32 = Self::AREA_RATIO_VS_AXI_32_64_2
-            * model.mesh_area_kge(Topology::mesh2x2(), axi_ref);
+        let base32 =
+            Self::AREA_RATIO_VS_AXI_32_64_2 * model.mesh_area_kge(Topology::mesh2x2(), axi_ref);
         let fixed = 0.35 * base32;
         let datapath32 = base32 - fixed;
         fixed + datapath32 * f64::from(self.flit_bits) / 32.0
@@ -83,7 +83,10 @@ mod tests {
         let esp_area = esp.area_kge_2x2(&model);
         assert!((esp_area / axi_area - 1.68).abs() < 1e-9, "+68 % area");
         let axi_bw = bisection_bandwidth_gbps(Topology::mesh2x2(), 64, BisectionCounting::OneWay);
-        assert!((esp.bandwidth_gbps() / axi_bw - 1.25).abs() < 1e-9, "+25 % bw");
+        assert!(
+            (esp.bandwidth_gbps() / axi_bw - 1.25).abs() < 1e-9,
+            "+25 % bw"
+        );
     }
 
     #[test]
@@ -107,7 +110,11 @@ mod tests {
         let model = AreaModel::calibrated();
         let a32 = EspNoc::flit32().area_kge_2x2(&model);
         let a64 = EspNoc::flit64().area_kge_2x2(&model);
-        assert!(a64 > a32 * 1.4 && a64 < a32 * 2.0, "a64/a32 = {}", a64 / a32);
+        assert!(
+            a64 > a32 * 1.4 && a64 < a32 * 2.0,
+            "a64/a32 = {}",
+            a64 / a32
+        );
         assert_eq!(EspNoc::flit64().bandwidth_gbps(), 320.0);
     }
 }

@@ -19,7 +19,7 @@
 //!   the pipeline; almost pure L1→L1 neighbour traffic, with only core 0 and
 //!   core 15 touching L2.
 
-use crate::source::{Transfer, TransferKind, TrafficSource};
+use crate::source::{TrafficSource, Transfer, TransferKind};
 use simkit::{Cycle, Rng};
 use std::collections::VecDeque;
 
@@ -87,8 +87,7 @@ pub fn resnet34_layers(channel_scale: f64) -> Vec<ConvLayer> {
         stride: 2,
     });
     // Residual stages: (channels, blocks, input resolution).
-    let stages: [(u64, usize, u64); 4] =
-        [(64, 3, 56), (128, 4, 28), (256, 6, 14), (512, 3, 7)];
+    let stages: [(u64, usize, u64); 4] = [(64, 3, 56), (128, 4, 28), (256, 6, 14), (512, 3, 7)];
     let mut prev_ch = ch(64);
     for (i, &(c, blocks, res)) in stages.iter().enumerate() {
         let c = ch(c);
@@ -457,8 +456,7 @@ impl DnnTraffic {
                 *last_slot = last;
             }
             // Ring all-reduce: 2(P−1) steps of chunk writes to the next core.
-            let mut prev_round: Vec<u32> =
-                last_of_core.iter().map(|l| l.unwrap()).collect();
+            let mut prev_round: Vec<u32> = last_of_core.iter().map(|l| l.unwrap()).collect();
             for _round in 0..(2 * (p - 1)) {
                 let mut this_round = Vec::with_capacity(p);
                 for core in 0..p {
@@ -510,10 +508,7 @@ impl DnnTraffic {
                     return None;
                 }
                 let (start, end) = range(s);
-                let bytes: u64 = layers[start..end]
-                    .iter()
-                    .map(ConvLayer::weight_bytes)
-                    .sum();
+                let bytes: u64 = layers[start..end].iter().map(ConvLayer::weight_bytes).sum();
                 Some(b.add(s, cfg.l2_node, bytes.max(1), TransferKind::Read, vec![]))
             })
             .collect();
@@ -778,9 +773,7 @@ mod tests {
         let p = cfg.cores as u64;
         let expected: u64 = layers
             .iter()
-            .map(|l| {
-                p * l.weight_bytes() + p * (l.ifmap_bytes() / p) + p * (l.ofmap_bytes() / p)
-            })
+            .map(|l| p * l.weight_bytes() + p * (l.ifmap_bytes() / p) + p * (l.ofmap_bytes() / p))
             .sum();
         assert_eq!(t.total_bytes(), expected);
     }

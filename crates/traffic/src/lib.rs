@@ -43,6 +43,6 @@ pub mod synthetic;
 pub mod uniform;
 
 pub use dnn::{DnnTraffic, DnnWorkload};
-pub use source::{Transfer, TransferKind, TrafficSource};
+pub use source::{TrafficSource, Transfer, TransferKind};
 pub use synthetic::{SyntheticConfig, SyntheticPattern, SyntheticTraffic};
 pub use uniform::{UniformConfig, UniformRandom};

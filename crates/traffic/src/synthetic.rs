@@ -16,7 +16,7 @@
 //! Transfer lengths and arrival timing use the same randomized-burst Poisson
 //! process as [`crate::uniform`].
 
-use crate::source::{Transfer, TransferKind, TrafficSource};
+use crate::source::{TrafficSource, Transfer, TransferKind};
 use simkit::{Cycle, Rng};
 
 /// The three synthetic access patterns of Fig. 5.
@@ -59,8 +59,7 @@ impl SyntheticPattern {
                 let mut v = Vec::new();
                 for y in 0..rows {
                     for x in 0..cols {
-                        let on_edge =
-                            x == 0 || y == 0 || x == cols - 1 || y == rows - 1;
+                        let on_edge = x == 0 || y == 0 || x == cols - 1 || y == rows - 1;
                         let corner = (x == 0 || x == cols - 1) && (y == 0 || y == rows - 1);
                         if on_edge && !corner {
                             v.push(node(x, y));

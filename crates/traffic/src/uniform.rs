@@ -7,7 +7,7 @@
 //! process is Poisson with a rate set by the *injected load*: at load 1.0 a
 //! master offers one full data-bus-width of payload per cycle.
 
-use crate::source::{Transfer, TransferKind, TrafficSource};
+use crate::source::{TrafficSource, Transfer, TransferKind};
 use simkit::{Cycle, Rng};
 
 /// Configuration for [`UniformRandom`].

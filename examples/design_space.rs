@@ -9,9 +9,7 @@
 
 use axi::AxiParams;
 use patronoc::{NocConfig, NocSim, Topology};
-use physical::{
-    bisection::bisection_bandwidth_gib_s, power_mw, AreaModel, BisectionCounting,
-};
+use physical::{bisection::bisection_bandwidth_gib_s, power_mw, AreaModel, BisectionCounting};
 use traffic::{UniformConfig, UniformRandom};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,8 +6,8 @@ use packetnoc::{PacketNocConfig, PacketNocSim};
 use patronoc::{NocConfig, NocSim, StopReason, Topology};
 use simkit::Cycle;
 use traffic::{
-    dnn::DnnConfig, DnnTraffic, DnnWorkload, Transfer, TrafficSource, TransferKind,
-    UniformConfig, UniformRandom,
+    dnn::DnnConfig, DnnTraffic, DnnWorkload, TrafficSource, Transfer, TransferKind, UniformConfig,
+    UniformRandom,
 };
 
 /// A finite workload: every master issues `per_master` fixed-size transfers
@@ -22,7 +22,12 @@ struct Finite {
 }
 
 impl Finite {
-    fn new(masters: usize, per_master: usize, bytes: u64, kind_of: fn(usize) -> TransferKind) -> Self {
+    fn new(
+        masters: usize,
+        per_master: usize,
+        bytes: u64,
+        kind_of: fn(usize) -> TransferKind,
+    ) -> Self {
         Self {
             masters,
             per_master,
@@ -185,7 +190,10 @@ fn fig8_ordering_holds_end_to_end() {
     let train = results[0].1;
     let par = results[1].1;
     let pipe = results[2].1;
-    assert!(pipe > train && train > par, "pipe {pipe} train {train} par {par}");
+    assert!(
+        pipe > train && train > par,
+        "pipe {pipe} train {train} par {par}"
+    );
 }
 
 #[test]
@@ -229,7 +237,9 @@ fn w_channel_wormhole_prevents_write_starvation() {
 
 #[test]
 fn physical_headline_claims() {
-    use physical::{area_efficiency, bisection_bandwidth_gbps, AreaModel, BisectionCounting, EspNoc};
+    use physical::{
+        area_efficiency, bisection_bandwidth_gbps, AreaModel, BisectionCounting, EspNoc,
+    };
     let model = AreaModel::calibrated();
     let topo = Topology::mesh2x2();
     let axi = AxiParams::new(32, 64, 2, 1).expect("reference config");

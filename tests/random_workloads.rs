@@ -5,7 +5,7 @@ use axi::AxiParams;
 use patronoc::{NocConfig, NocSim, StopReason, Topology};
 use proptest::prelude::*;
 use simkit::Cycle;
-use traffic::{Transfer, TrafficSource, TransferKind};
+use traffic::{TrafficSource, Transfer, TransferKind};
 
 /// Replays a prescribed transfer list (already distributed per master).
 struct Scripted {

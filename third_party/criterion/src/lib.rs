@@ -1,0 +1,115 @@
+//! Minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the criterion 0.5 API that
+//! `crates/bench/benches/engines.rs` uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark runs one warm-up iteration and
+//! `sample_size` timed iterations, then prints min / mean / max wall time.
+//! Swap this crate for the registry `criterion = "0.5"` once the environment
+//! is online; no bench source changes are needed.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: holds run settings and reports results to stdout.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs `routine` once to warm up, then `sample_size` timed iterations.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            timed_iters: self.sample_size,
+        };
+        routine(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<40} (no samples — routine never called Bencher::iter)");
+            return self;
+        }
+        let min = samples.iter().min().expect("non-empty");
+        let max = samples.iter().max().expect("non-empty");
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<40} [{min:>12?} {mean:>12?} {max:>12?}] ({} samples)",
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Passed to each benchmark routine; collects per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    timed_iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one discarded warm-up call, then the configured
+    /// number of timed calls.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.timed_iters {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a value. Re-exported for
+/// compatibility with code importing it from criterion.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Defines a benchmark group function, `criterion_group!` style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,154 @@
+//! Minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the subset of the proptest 1.x API that the workspace's
+//! property suites use: the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros, the [`Strategy`] trait with
+//! `prop_map` / `prop_filter`, range / tuple / `Just` / `any` strategies,
+//! `prop::sample::select` and `prop::collection::vec`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` deterministic random
+//! cases (seeded; override with `PROPTEST_SEED` / `PROPTEST_CASES`). There is
+//! **no shrinking** — a failure reports the case index and seed instead of a
+//! minimized input. Swap this crate for the real registry `proptest = "1"`
+//! once the environment is online; no test source changes are needed.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the property suites import via `use proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Namespaced module re-exports (`prop::sample::select`, …).
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { … } }`.
+///
+/// Each generated `#[test]` runs the body for `config.cases` deterministic
+/// inputs. The body may use `prop_assert!`-family macros and `return Ok(())`
+/// for early exit, exactly as with real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let runner = $crate::test_runner::TestRunner::new(&config);
+            // Build the strategies once; the tuple impl generates the
+            // arguments in declaration order, same as per-arg calls.
+            let strategies = ($($strat,)+);
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!(
+                        "proptest stub: case {}/{} failed (seed {:#x}):\n{}",
+                        case + 1,
+                        runner.cases(),
+                        runner.seed(),
+                        err
+                    );
+                }
+            }
+        }
+    )* };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current property case with a formatted
+/// message instead of panicking at the assertion site.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}

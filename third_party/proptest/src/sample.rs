@@ -1,0 +1,26 @@
+//! `sample::select`: uniform choice from a fixed list of values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding a uniformly chosen clone of one of `values`.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(
+        !values.is_empty(),
+        "sample::select needs at least one value"
+    );
+    Select { values }
+}
+
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.values.len() as u64) as usize;
+        self.values[idx].clone()
+    }
+}

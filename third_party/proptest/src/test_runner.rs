@@ -1,0 +1,115 @@
+//! Deterministic case runner: config, seed handling, and the RNG that
+//! drives value generation.
+
+use std::fmt;
+
+/// Per-suite configuration; only `cases` is meaningful in the stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// A failed (or, in principle, rejected) property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        Self(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property: a fixed case count and a per-case RNG derived from a
+/// base seed so failures reproduce exactly.
+pub struct TestRunner {
+    cases: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: &ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| {
+                let v = v.trim();
+                v.strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+            })
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self {
+            cases: config.cases,
+            seed,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::new(
+            self.seed
+                .wrapping_add(u64::from(case).wrapping_mul(0xa076_1d64_78bd_642f)),
+        )
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty random for test-input generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero. Modulo bias is
+    /// acceptable for test-case generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
