@@ -22,6 +22,9 @@ pub enum ConfigError {
         /// The topology's capacity (N×M for the default mesh).
         capacity: usize,
     },
+    /// A testbench knob that must be non-zero was zero (e.g. link register
+    /// stages, region size, DMA descriptor-queue depth).
+    ZeroParameter(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -45,6 +48,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "endpoint count {requested} exceeds topology capacity {capacity}"
             ),
+            Self::ZeroParameter(name) => write!(f, "{name} must be non-zero"),
         }
     }
 }

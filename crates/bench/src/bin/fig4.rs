@@ -3,79 +3,115 @@
 //! two configurations against the slim (DW = 32) PATRONoC at five DMA
 //! burst-length caps.
 //!
-//! Runtime: ~2–4 minutes in release mode (13 loads × 7 curves of
-//! cycle-accurate simulation). Set `FIG4_QUICK=1` for a coarse fast sweep.
+//! The 13 loads × 7 curves form a grid of independent simulations executed
+//! across `--jobs` workers (default: all cores; env `BENCH_JOBS`); output
+//! is bit-identical for every worker count. Runtime: ~2–4 core-minutes in
+//! release mode. `--quick` (or `FIG4_QUICK=1`) runs a coarse fast sweep;
+//! `--json PATH` additionally writes machine-readable results.
 
-use bench::defaults::{BURST_CAPS, LOADS, SEED, WARMUP, WINDOW};
+use bench::defaults::{self, BURST_CAPS, LOADS, WARMUP, WINDOW};
+use bench::json::Json;
+use bench::sweep::SweepOptions;
 use bench::{noxim_uniform_point, patronoc_uniform_point};
 use packetnoc::PacketNocConfig;
 
+/// One curve of the figure: a PATRONoC burst cap or a baseline config.
+#[derive(Clone)]
+enum Curve {
+    Patronoc { cap: u64 },
+    Noxim { index: usize, cfg: PacketNocConfig },
+}
+
+impl Curve {
+    fn label(&self) -> String {
+        match self {
+            Curve::Patronoc { cap } => format!("burst<{cap}"),
+            Curve::Noxim { index: 0, .. } => "noxim(1,4)".into(),
+            Curve::Noxim { .. } => "noxim(4,32)".into(),
+        }
+    }
+}
+
 fn main() {
-    let quick = std::env::var_os("FIG4_QUICK").is_some();
-    let (window, warmup) = if quick {
+    let opts = SweepOptions::parse("FIG4_QUICK");
+    let (window, warmup) = if opts.quick {
         (30_000, 6_000)
     } else {
         (WINDOW, WARMUP)
     };
-    let loads: Vec<f64> = if quick {
+    let loads: Vec<f64> = if opts.quick {
         vec![0.001, 0.01, 0.1, 0.5, 1.0]
     } else {
         LOADS.to_vec()
     };
 
+    let mut curves: Vec<Curve> = BURST_CAPS
+        .iter()
+        .map(|&cap| Curve::Patronoc { cap })
+        .collect();
+    curves.push(Curve::Noxim {
+        index: 0,
+        cfg: PacketNocConfig::noxim_compact(),
+    });
+    curves.push(Curve::Noxim {
+        index: 1,
+        cfg: PacketNocConfig::noxim_high_performance(),
+    });
+
+    // The sweep grid, row-major in load so `cells[li * curves + ci]`
+    // addresses the printed table directly.
+    let cells: Vec<(usize, usize)> = (0..loads.len())
+        .flat_map(|li| (0..curves.len()).map(move |ci| (li, ci)))
+        .collect();
+    let results: Vec<f64> = opts.run_points(&cells, |&(li, ci)| {
+        let load = loads[li];
+        match &curves[ci] {
+            Curve::Patronoc { cap } => patronoc_uniform_point(
+                32,
+                load,
+                *cap,
+                window,
+                warmup,
+                defaults::fig4_patronoc_seed(*cap, li),
+            ),
+            Curve::Noxim { index, cfg } => noxim_uniform_point(
+                cfg.clone(),
+                load,
+                100,
+                window,
+                warmup,
+                defaults::fig4_noxim_seed(*index, li),
+            ),
+        }
+    });
+    let cell = |li: usize, ci: usize| results[li * curves.len() + ci];
+
     println!("Fig. 4 — uniform random traffic, 4x4 mesh, throughput (GiB/s) vs injected load");
     print!("{:>10}", "load");
-    for cap in BURST_CAPS {
-        print!(" {:>12}", format!("burst<{cap}"));
+    for curve in &curves {
+        print!(" {:>12}", curve.label());
     }
-    print!(" {:>12} {:>12}", "noxim(1,4)", "noxim(4,32)");
     println!();
-
-    for &load in &loads {
+    for (li, load) in loads.iter().enumerate() {
         print!("{load:>10.4}");
-        for cap in BURST_CAPS {
-            let g = patronoc_uniform_point(32, load, cap, window, warmup, SEED ^ cap);
-            print!(" {g:>12.3}");
+        for ci in 0..curves.len() {
+            print!(" {:>12.3}", cell(li, ci));
         }
-        let nc = noxim_uniform_point(
-            PacketNocConfig::noxim_compact(),
-            load,
-            100,
-            window,
-            warmup,
-            SEED,
-        );
-        let nh = noxim_uniform_point(
-            PacketNocConfig::noxim_high_performance(),
-            load,
-            100,
-            window,
-            warmup,
-            SEED,
-        );
-        println!(" {nc:>12.3} {nh:>12.3}");
+        println!();
     }
 
-    // Headline: saturation ratios at the largest bursts. The paper claims
-    // "2-8x on uniform random traffic" with 8.4x as the best case
-    // (19 GiB/s vs 2.25 GiB/s).
-    let sat_patronoc = patronoc_uniform_point(32, 1.0, 1_000, window, warmup, SEED ^ 1000);
-    let sat_high = noxim_uniform_point(
-        PacketNocConfig::noxim_high_performance(),
-        1.0,
-        100,
-        window,
-        warmup,
-        SEED,
-    );
-    let sat_compact = noxim_uniform_point(
-        PacketNocConfig::noxim_compact(),
-        1.0,
-        100,
-        window,
-        warmup,
-        SEED,
-    );
+    // Headline: saturation ratios at the largest loads, straight from the
+    // grid (load 1.0 is always the last row). The paper claims "2-8x on
+    // uniform random traffic" with 8.4x as the best case (19 GiB/s vs
+    // 2.25 GiB/s).
+    let sat_li = loads.len() - 1;
+    let sat_ci = BURST_CAPS
+        .iter()
+        .position(|&c| c == 1_000)
+        .expect("1000 B is a Fig. 4 burst cap");
+    let sat_patronoc = cell(sat_li, sat_ci);
+    let sat_compact = cell(sat_li, BURST_CAPS.len());
+    let sat_high = cell(sat_li, BURST_CAPS.len() + 1);
     println!();
     println!(
         "saturation: PATRONoC {sat_patronoc:.2} GiB/s; Noxim compact {sat_compact:.2}, high-perf {sat_high:.2} GiB/s"
@@ -85,4 +121,40 @@ fn main() {
         sat_patronoc / sat_compact,
         sat_patronoc / sat_high
     );
+
+    opts.emit_json(&Json::obj(vec![
+        ("figure", Json::str("fig4")),
+        ("quick", Json::Bool(opts.quick)),
+        ("window", Json::U64(window)),
+        ("warmup", Json::U64(warmup)),
+        (
+            "curves",
+            Json::Arr(
+                curves
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, curve)| {
+                        Json::obj(vec![
+                            ("label", Json::str(curve.label())),
+                            (
+                                "points",
+                                Json::Arr(
+                                    loads
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(li, &load)| {
+                                            Json::obj(vec![
+                                                ("load", Json::F64(load)),
+                                                ("gib_s", Json::F64(cell(li, ci))),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
 }

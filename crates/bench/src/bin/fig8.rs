@@ -1,30 +1,59 @@
 //! Regenerates **Fig. 8**: aggregate throughput of the slim and wide 4×4
 //! PATRONoC under the three DNN workload traces of Fig. 7 (distributed
 //! training, layer-parallel convolution, pipelined convolution).
+//!
+//! The six trace runs execute across `--jobs` workers (env `BENCH_JOBS`);
+//! output is bit-identical for every worker count. `--quick` (or
+//! `FIG8_QUICK=1`) runs single-step traces; `--json PATH` writes
+//! machine-readable results.
 
 use bench::dnn_point;
+use bench::json::Json;
+use bench::sweep::SweepOptions;
 use traffic::DnnWorkload;
 
 fn main() {
-    let quick = std::env::var_os("FIG8_QUICK").is_some();
-    let steps = if quick { 1 } else { 2 };
+    let opts = SweepOptions::parse("FIG8_QUICK");
+    let steps = if opts.quick { 1 } else { 2 };
+
+    let mut cells: Vec<(u32, &str, DnnWorkload)> = Vec::new();
+    for (dw, name) in [(32u32, "Slim"), (512, "Wide")] {
+        for wl in DnnWorkload::all() {
+            cells.push((dw, name, wl));
+        }
+    }
+    let results = opts.run_points(&cells, |&(dw, _, wl)| dnn_point(dw, wl, steps));
+
     println!("Fig. 8 — DNN workload traffic on the 4x4 PATRONoC (GiB/s)");
     println!(
         "{:>10} {:>12} {:>12} {:>14} {:>12}",
         "NoC", "workload", "thr (GiB/s)", "trace bytes", "cycles"
     );
-    for (dw, name) in [(32u32, "Slim"), (512, "Wide")] {
-        for wl in DnnWorkload::all() {
-            let p = dnn_point(dw, wl, steps);
-            println!(
-                "{name:>10} {:>12} {:>12.2} {:>14} {:>12}",
-                wl.name(),
-                p.gib_s,
-                p.bytes,
-                p.cycles
-            );
-        }
+    let mut points = Vec::new();
+    for (&(dw, name, wl), p) in cells.iter().zip(&results) {
+        println!(
+            "{name:>10} {:>12} {:>12.2} {:>14} {:>12}",
+            wl.name(),
+            p.gib_s,
+            p.bytes,
+            p.cycles
+        );
+        points.push(Json::obj(vec![
+            ("noc", Json::str(name)),
+            ("dw_bits", Json::U64(u64::from(dw))),
+            ("workload", Json::str(wl.name())),
+            ("gib_s", Json::F64(p.gib_s)),
+            ("trace_bytes", Json::U64(p.bytes)),
+            ("cycles", Json::U64(p.cycles)),
+        ]));
     }
     println!();
     println!("paper: slim 5.18 / 4.27 / 19.17; wide 83.1 / 68.5 / 310.7 (Train / Par / Pipe)");
+
+    opts.emit_json(&Json::obj(vec![
+        ("figure", Json::str("fig8")),
+        ("quick", Json::Bool(opts.quick)),
+        ("trace_steps", Json::U64(steps as u64)),
+        ("points", Json::Arr(points)),
+    ]));
 }

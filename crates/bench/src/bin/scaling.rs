@@ -6,29 +6,39 @@
 //! per-node throughput and the hottest link's data-channel occupancy —
 //! showing how dimension-ordered meshes lose per-node bandwidth as they
 //! grow (the reason the paper floats CMesh/torus variants).
+//!
+//! Each mesh size is an independent simulation run across `--jobs` workers
+//! (env `BENCH_JOBS`); output is bit-identical for every worker count.
+//! `--quick` (or `SCALING_QUICK=1`) shrinks the window; `--json PATH`
+//! writes machine-readable results.
 
 use axi::AxiParams;
+use bench::json::Json;
+use bench::sweep::SweepOptions;
 use patronoc::{NocConfig, NocSim, Topology};
 use physical::{bisection::bisection_bandwidth_gib_s, AreaModel, BisectionCounting};
 use traffic::{UniformConfig, UniformRandom};
 
+struct MeshRow {
+    area_kge: f64,
+    bisection_gib_s: f64,
+    gib_s: f64,
+    peak_link_occupancy: f64,
+}
+
 fn main() {
-    let quick = std::env::var_os("SCALING_QUICK").is_some();
-    let window = if quick { 30_000 } else { 120_000 };
+    let opts = SweepOptions::parse("SCALING_QUICK");
+    let window = if opts.quick { 30_000 } else { 120_000 };
     let model = AreaModel::calibrated();
-    println!(
-        "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12}",
-        "mesh", "area (kGE)", "bisect (GiB/s)", "thr (GiB/s)", "per-node", "peak link"
-    );
-    for dim in [2usize, 3, 4, 6, 8] {
+    let dims = [2usize, 3, 4, 6, 8];
+
+    let results: Vec<MeshRow> = opts.run_points(&dims, |&dim| {
         let topo = Topology::Mesh {
             cols: dim,
             rows: dim,
         };
         let n = topo.num_nodes();
         let axi = AxiParams::new(32, 64, 4, 8).expect("scaling sweep params");
-        let area = model.mesh_area_kge(topo, axi);
-        let bisection = bisection_bandwidth_gib_s(topo, 64, BisectionCounting::BothWays);
         let mut sim = NocSim::new(NocConfig::new(axi, topo)).expect("valid config");
         let mut src = UniformRandom::new_copies(UniformConfig {
             masters: n,
@@ -41,16 +51,46 @@ fn main() {
             seed: 21,
         });
         let report = sim.run(&mut src, window + 20_000, 20_000);
+        MeshRow {
+            area_kge: model.mesh_area_kge(topo, axi),
+            bisection_gib_s: bisection_bandwidth_gib_s(topo, 64, BisectionCounting::BothWays),
+            gib_s: report.throughput_gib_s,
+            peak_link_occupancy: sim.peak_link_occupancy(),
+        }
+    });
+
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12}",
+        "mesh", "area (kGE)", "bisect (GiB/s)", "thr (GiB/s)", "per-node", "peak link"
+    );
+    let mut points = Vec::new();
+    for (&dim, row) in dims.iter().zip(&results) {
+        let n = (dim * dim) as f64;
         println!(
             "{:>8} {:>12.0} {:>14.1} {:>14.2} {:>14.3} {:>11.1}%",
             format!("{dim}x{dim}"),
-            area,
-            bisection,
-            report.throughput_gib_s,
-            report.throughput_gib_s / n as f64,
-            100.0 * sim.peak_link_occupancy()
+            row.area_kge,
+            row.bisection_gib_s,
+            row.gib_s,
+            row.gib_s / n,
+            100.0 * row.peak_link_occupancy
         );
+        points.push(Json::obj(vec![
+            ("mesh", Json::str(format!("{dim}x{dim}"))),
+            ("area_kge", Json::F64(row.area_kge)),
+            ("bisection_gib_s", Json::F64(row.bisection_gib_s)),
+            ("gib_s", Json::F64(row.gib_s)),
+            ("per_node_gib_s", Json::F64(row.gib_s / n)),
+            ("peak_link_occupancy", Json::F64(row.peak_link_occupancy)),
+        ]));
     }
     println!();
     println!("Uniform random copies, DW = 64, MOT = 8, bursts ≤ 4 KiB, load 1.0.");
+
+    opts.emit_json(&Json::obj(vec![
+        ("figure", Json::str("scaling")),
+        ("quick", Json::Bool(opts.quick)),
+        ("window", Json::U64(window)),
+        ("points", Json::Arr(points)),
+    ]));
 }

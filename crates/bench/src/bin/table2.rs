@@ -5,6 +5,12 @@
 //! the DW = 512 evaluation point ≈ 2 Tb/s; the paper rounds its best
 //! configuration to 2700 Gb/s with wider links at the endpoints).
 
+//! Accepts the shared sweep flags for a uniform interface: `--json PATH`
+//! writes the table as machine-readable results (`--jobs` is accepted but
+//! irrelevant — there is no simulation grid here).
+
+use bench::json::Json;
+use bench::sweep::SweepOptions;
 use patronoc::Topology;
 use physical::{bisection_bandwidth_gbps, BisectionCounting};
 
@@ -18,6 +24,7 @@ struct Row {
 }
 
 fn main() {
+    let opts = SweepOptions::parse("TABLE2_QUICK");
     let rows = [
         Row {
             work: "SpiNNaker",
@@ -146,4 +153,30 @@ fn main() {
         "PATRONoC 4x4 DW=512 bisection: {bw:.0} Gb/s one-way, {:.0} Gb/s both-ways (paper row: 2700)",
         bisection_bandwidth_gbps(Topology::mesh4x4(), 512, BisectionCounting::BothWays)
     );
+
+    let mut json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("work", Json::str(r.work)),
+                ("open_source", Json::str(r.open_source)),
+                ("full_axi", Json::str(r.full_axi)),
+                ("burst", Json::str(r.burst)),
+                ("configurable", Json::str(r.configurable)),
+                ("bw_gbps", Json::str(r.bw_gbps)),
+            ])
+        })
+        .collect();
+    json_rows.push(Json::obj(vec![
+        ("work", Json::str("PATRONoC (this)")),
+        ("open_source", Json::str("yes")),
+        ("full_axi", Json::str("yes")),
+        ("burst", Json::str("yes")),
+        ("configurable", Json::str("yes")),
+        ("bw_gbps_computed", Json::F64(bw)),
+    ]));
+    opts.emit_json(&Json::obj(vec![
+        ("table", Json::str("table2")),
+        ("rows", Json::Arr(json_rows)),
+    ]));
 }

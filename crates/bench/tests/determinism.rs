@@ -1,0 +1,66 @@
+//! Parallel-sweep determinism: the contract that `--jobs N` is purely a
+//! wall-clock optimization. Every grid point is an independent simulation
+//! whose seed derives only from its grid coordinates, and the pool returns
+//! results in grid order, so a sweep must produce *bit-identical* results
+//! for every worker count.
+
+use bench::sweep;
+use bench::{patronoc_uniform_curve_jobs, synthetic_point};
+use traffic::SyntheticPattern;
+
+const QUICK_WINDOW: u64 = 8_000;
+const QUICK_WARMUP: u64 = 2_000;
+
+#[test]
+fn fig4_sweep_bit_identical_across_jobs() {
+    // A reduced-budget Fig. 4 curve: same loads, same burst cap, same
+    // seeds — only the worker count differs.
+    let loads = [0.001, 0.01, 0.1, 0.5, 1.0];
+    let serial = patronoc_uniform_curve_jobs(32, 1_000, &loads, QUICK_WINDOW, QUICK_WARMUP, 1);
+    let parallel = patronoc_uniform_curve_jobs(32, 1_000, &loads, QUICK_WINDOW, QUICK_WARMUP, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.load.to_bits(), p.load.to_bits());
+        assert_eq!(
+            s.gib_s.to_bits(),
+            p.gib_s.to_bits(),
+            "load {}: serial {} vs parallel {}",
+            s.load,
+            s.gib_s,
+            p.gib_s
+        );
+    }
+}
+
+#[test]
+fn fig6_grid_bit_identical_across_jobs() {
+    // A reduced-budget slice of the Fig. 6 grid through the generic
+    // point-runner the binaries use.
+    let cells = [
+        (SyntheticPattern::AllGlobal, 100u64),
+        (SyntheticPattern::MaxTwoHop, 1_000),
+        (SyntheticPattern::MaxSingleHop, 10_000),
+    ];
+    let run = |jobs: usize| {
+        sweep::run_points(jobs, &cells, |&(pattern, cap)| {
+            synthetic_point(32, pattern, cap, QUICK_WINDOW, QUICK_WARMUP)
+        })
+    };
+    let serial = run(1);
+    let parallel = run(3);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.burst_cap, p.burst_cap);
+        assert_eq!(s.gib_s.to_bits(), p.gib_s.to_bits());
+        assert_eq!(s.utilization_pct.to_bits(), p.utilization_pct.to_bits());
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Beyond serial-vs-parallel: two parallel runs with the same options
+    // must agree with each other (no hidden global state in the engines).
+    let loads = [0.01, 1.0];
+    let a = patronoc_uniform_curve_jobs(32, 100, &loads, QUICK_WINDOW, QUICK_WARMUP, 4);
+    let b = patronoc_uniform_curve_jobs(32, 100, &loads, QUICK_WINDOW, QUICK_WARMUP, 4);
+    assert_eq!(a, b);
+}

@@ -30,6 +30,12 @@ pub struct PacketNocConfig {
     /// Extra router pipeline latency in cycles added at the destination
     /// delivery (models multi-stage routers; throughput-neutral).
     pub router_extra_latency: u32,
+    /// Transfer-queue depth per NI: the engine stops polling its traffic
+    /// source once this many transfers await packetization and resumes as
+    /// the queue drains. Open-loop sources yield the same transfer stream
+    /// either way (polling is merely deferred), so results are identical
+    /// for any cap ≥ 1; the cap bounds simulator memory on saturated runs.
+    pub ni_queue_cap: usize,
 }
 
 impl PacketNocConfig {
@@ -45,6 +51,7 @@ impl PacketNocConfig {
             packet_flits: 8,
             payload_per_packet: 4,
             router_extra_latency: 2,
+            ni_queue_cap: 64,
         }
     }
 
@@ -78,6 +85,7 @@ impl PacketNocConfig {
         assert!(self.flit_bytes >= 1, "flit must carry at least a byte");
         assert!(self.packet_flits >= 2, "need head + at least one more flit");
         assert!(self.payload_per_packet >= 1, "packet must carry payload");
+        assert!(self.ni_queue_cap >= 1, "NI queue must hold a transfer");
     }
 }
 

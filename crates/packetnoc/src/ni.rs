@@ -87,6 +87,13 @@ impl NetworkInterface {
         self.queue.is_empty() && self.emit_left == 0
     }
 
+    /// Transfers waiting for packetization (the engine stops polling its
+    /// traffic source at [`PacketNocConfig::ni_queue_cap`]).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Total packets injected so far.
     #[must_use]
     pub fn packets_injected(&self) -> u64 {

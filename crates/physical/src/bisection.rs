@@ -9,8 +9,17 @@
 //!   throughput".
 //! * **Both-ways** — both directions count (`2 × min-cut pairs × DW × f`).
 //!   This is the convention behind §IV's "32 GiB/s" (slim) and "512 GiB/s"
-//!   (wide) bisection bandwidths of the 4×4 mesh, and hence behind every
-//!   utilization percentage in Fig. 6.
+//!   (wide) bisection bandwidths of the 4×4 mesh.
+//!
+//! Neither convention is the *capacity* a saturated AXI NoC can actually
+//! move across the cut: each directed cut crossing carries **two**
+//! independent DW-wide data channels (the W channel of the forward link and
+//! the R channel of the reverse link both stream payload in the same
+//! physical direction), so a mixed read/write workload can sustain up to
+//! twice the both-ways figure. [`bisection_data_capacity_gib_s`] models
+//! that bound; it is the denominator that keeps Fig. 6 utilization
+//! percentages ≤ 100 % (dividing by the both-ways bandwidth instead
+//! produced the 115–120 % values ROADMAP flagged).
 
 use patronoc::Topology;
 
@@ -48,6 +57,21 @@ pub fn bisection_bandwidth_gib_s(
     bisection_bandwidth_gbps(topo, data_width_bits, counting) * 1.0e9
         / 8.0
         / (1024.0 * 1024.0 * 1024.0)
+}
+
+/// Aggregate *data-channel* capacity across the bisection cut in GiB/s at
+/// a 1 GHz clock: every directed cut crossing counts both DW-wide payload
+/// channels that stream in its direction (the forward link's W channel and
+/// the reverse link's R channel), i.e. twice the
+/// [`BisectionCounting::BothWays`] bandwidth.
+///
+/// This is the physical upper bound on payload crossing the cut per cycle
+/// for any read/write mix, and therefore the utilization denominator of the
+/// Fig. 6 sweep: measured throughput divided by this capacity can never
+/// exceed 100 %.
+#[must_use]
+pub fn bisection_data_capacity_gib_s(topo: Topology, data_width_bits: u32) -> f64 {
+    2.0 * bisection_bandwidth_gib_s(topo, data_width_bits, BisectionCounting::BothWays)
 }
 
 /// Area efficiency: bisection bandwidth (Gb/s) per kGE — the slope metric
@@ -94,6 +118,26 @@ mod tests {
                 bisection_bandwidth_gbps(Topology::mesh4x4(), dw, BisectionCounting::BothWays);
             assert_eq!(two, 2.0 * one);
         }
+    }
+
+    #[test]
+    fn data_capacity_doubles_both_ways() {
+        for dw in [32, 64, 512] {
+            let both =
+                bisection_bandwidth_gib_s(Topology::mesh4x4(), dw, BisectionCounting::BothWays);
+            let capacity = bisection_data_capacity_gib_s(Topology::mesh4x4(), dw);
+            assert_eq!(capacity, 2.0 * both);
+        }
+    }
+
+    #[test]
+    fn slim_data_capacity_matches_injection_bound() {
+        // 16 masters × DW/8 payload bytes per cycle is the injection-side
+        // ceiling of the 4×4 evaluation; the cut's W+R data capacity equals
+        // it (8 crossings × 2 channels × 4 B = 64 B/cycle = 59.6 GiB/s), so
+        // utilization vs this capacity is bounded by offered load.
+        let capacity = bisection_data_capacity_gib_s(Topology::mesh4x4(), 32);
+        assert!((capacity - 59.6).abs() < 0.1, "got {capacity}");
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub mod espnoc;
 pub mod power;
 
 pub use area::AreaModel;
-pub use bisection::{area_efficiency, bisection_bandwidth_gbps, BisectionCounting};
+pub use bisection::{
+    area_efficiency, bisection_bandwidth_gbps, bisection_data_capacity_gib_s, BisectionCounting,
+};
 pub use espnoc::EspNoc;
 pub use power::power_mw;

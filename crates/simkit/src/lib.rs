@@ -16,6 +16,9 @@
 //!   exactly reproducible from its seed.
 //! * [`stats`] — counters, Welford mean/variance, log-2 histograms and a
 //!   windowed throughput meter.
+//! * [`pool`] — a scoped worker pool ([`pool::scope_map`]) for fanning
+//!   independent simulation points across threads with index-ordered,
+//!   serial-identical results.
 //!
 //! ## Two-phase discipline
 //!
@@ -39,6 +42,7 @@
 //!
 pub mod arbiter;
 pub mod fifo;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

@@ -244,6 +244,18 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram's samples into this one in O(buckets),
+    /// without replaying individual samples — used to aggregate per-endpoint
+    /// latency histograms into one report while the per-endpoint originals
+    /// keep accumulating.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Count in log-2 bucket `i` (values in `[2^i, 2^(i+1))`).
     ///
     /// # Panics
@@ -343,6 +355,28 @@ mod tests {
         assert_eq!(h.bucket(2), 1); // 4
         assert_eq!(h.count(), 5);
         assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_equals_replaying_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut replay = Histogram::new();
+        for v in [0u64, 1, 7, 1000] {
+            a.record(v);
+            replay.record(v);
+        }
+        for v in [3u64, 3, 250_000] {
+            b.record(v);
+            replay.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), replay.count());
+        assert!((a.mean() - replay.mean()).abs() < 1e-12);
+        for i in 0..64 {
+            assert_eq!(a.bucket(i), replay.bucket(i), "bucket {i}");
+        }
+        assert_eq!(a.quantile(0.99), replay.quantile(0.99));
     }
 
     #[test]
