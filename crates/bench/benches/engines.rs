@@ -7,79 +7,55 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use axi::AxiParams;
-use packetnoc::{PacketNocConfig, PacketNocSim};
-use patronoc::{NocConfig, NocSim, Topology};
-use traffic::{
-    dnn::DnnConfig, DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic,
-    UniformConfig, UniformRandom,
-};
+use patronoc::Topology;
+use scenario::{PacketProfile, Scenario, TrafficSpec};
+use traffic::{DnnWorkload, SyntheticPattern};
 
 const SIM_CYCLES: u64 = 5_000;
 
-fn uniform_cfg(dw: u32, max_transfer: u64) -> UniformConfig {
-    UniformConfig {
-        masters: 16,
-        slaves: (0..16).collect(),
-        load: 1.0,
-        bytes_per_cycle: f64::from(dw) / 8.0,
-        max_transfer,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed: 99,
-    }
+/// Runs a scenario's engine for a fixed cycle count (no warm-up) — the
+/// simulator-performance unit of work every benchmark measures.
+fn run_for(scenario: &Scenario, cycles: u64) -> simkit::SimReport {
+    let mut sim = scenario.build_engine().expect("valid scenario");
+    let mut src = scenario.build_source();
+    sim.run(&mut *src, cycles, 0)
 }
 
 fn bench_fig4_slim_uniform(c: &mut Criterion) {
+    let scenario = Scenario::patronoc()
+        .traffic(TrafficSpec::uniform_copies(1.0, 1000))
+        .seed(99);
     c.bench_function("fig4_slim_uniform_5k_cycles", |b| {
-        b.iter(|| {
-            let mut sim = NocSim::new(NocConfig::slim_4x4()).expect("valid");
-            let mut src = UniformRandom::new_copies(uniform_cfg(32, 1000));
-            black_box(sim.run(&mut src, SIM_CYCLES, 0))
-        });
+        b.iter(|| black_box(run_for(&scenario, SIM_CYCLES)));
     });
 }
 
 fn bench_fig4_noxim_baseline(c: &mut Criterion) {
+    let scenario = Scenario::packet(PacketProfile::HighPerformance)
+        .traffic(TrafficSpec::uniform(1.0, 100))
+        .seed(99);
     c.bench_function("fig4_noxim_highperf_5k_cycles", |b| {
-        b.iter(|| {
-            let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
-            let mut src = UniformRandom::new(uniform_cfg(32, 100));
-            black_box(sim.run(&mut src, SIM_CYCLES, 0))
-        });
+        b.iter(|| black_box(run_for(&scenario, SIM_CYCLES)));
     });
 }
 
 fn bench_fig6_wide_synthetic(c: &mut Criterion) {
+    let scenario = Scenario::patronoc()
+        .data_width(512)
+        .traffic(TrafficSpec::synthetic(SyntheticPattern::MaxTwoHop, 10_000))
+        .seed(3);
     c.bench_function("fig6_wide_2hop_5k_cycles", |b| {
-        b.iter(|| {
-            let axi = AxiParams::wide();
-            let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
-            cfg.slaves = SyntheticPattern::MaxTwoHop.slave_nodes(4, 4);
-            let mut sim = NocSim::new(cfg).expect("valid");
-            let mut src = SyntheticTraffic::new(SyntheticConfig {
-                cols: 4,
-                rows: 4,
-                pattern: SyntheticPattern::MaxTwoHop,
-                load: 1.0,
-                bytes_per_cycle: 64.0,
-                max_transfer: 10_000,
-                read_fraction: 0.5,
-                region_size: 1 << 24,
-                seed: 3,
-            });
-            black_box(sim.run(&mut src, SIM_CYCLES, 0))
-        });
+        b.iter(|| black_box(run_for(&scenario, SIM_CYCLES)));
     });
 }
 
 fn bench_fig8_dnn_trace(c: &mut Criterion) {
+    let scenario = Scenario::patronoc()
+        .data_width(512)
+        .traffic(TrafficSpec::dnn(DnnWorkload::PipelinedConv, 1))
+        .seed(1);
     c.bench_function("fig8_wide_pipeconv_trace", |b| {
-        b.iter(|| {
-            let mut sim = NocSim::new(NocConfig::wide_4x4()).expect("valid");
-            let mut src = DnnTraffic::new(&DnnConfig::for_workload(DnnWorkload::PipelinedConv));
-            black_box(sim.run(&mut src, 50_000_000, 0))
-        });
+        b.iter(|| black_box(run_for(&scenario, 50_000_000)));
     });
 }
 

@@ -11,16 +11,15 @@
 //! * **Routing algorithm** — YX (paper default) vs XY.
 //! * **Topology** — the same XP building block as mesh, torus and ring.
 //!
-//! All five studies flatten into one grid of independent simulations run
-//! across `--jobs` workers (env `BENCH_JOBS`); output is bit-identical for
-//! every worker count. `--quick` (or `ABLATION_QUICK=1`) shrinks the
-//! window; `--json PATH` writes machine-readable results.
+//! All five studies flatten into one grid of `Scenario` values run across
+//! `--jobs` workers (env `BENCH_JOBS`); output is bit-identical for every
+//! worker count. `--quick` (or `ABLATION_QUICK=1`) shrinks the window;
+//! `--json PATH` writes machine-readable results.
 
-use axi::AxiParams;
 use bench::json::Json;
 use bench::sweep::SweepOptions;
-use patronoc::{Connectivity, NocConfig, NocSim, RoutingAlgorithm, Topology};
-use traffic::{UniformConfig, UniformRandom};
+use patronoc::{Connectivity, RoutingAlgorithm, Topology};
+use scenario::{Scenario, TrafficSpec};
 
 /// One ablation grid point, across all five studies.
 #[derive(Clone, Copy)]
@@ -32,22 +31,25 @@ enum Job {
     Topo(Topology),
 }
 
-fn run(cfg: NocConfig, load: f64, max_transfer: u64, window: u64) -> (f64, f64) {
-    let n = cfg.topology.num_nodes();
-    let dw = cfg.axi.data_width();
-    let mut sim = NocSim::new(cfg).expect("ablation configs are valid");
-    let mut src = UniformRandom::new_copies(UniformConfig {
-        masters: n,
-        slaves: (0..n).collect(),
-        load,
-        bytes_per_cycle: f64::from(dw) / 8.0,
-        max_transfer,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed: 0xAB1A,
-    });
-    let report = sim.run(&mut src, window + 20_000, 20_000);
-    (report.throughput_gib_s, report.mean_latency)
+impl Job {
+    /// The scenario this ablation point simulates: the slim 4×4 base with
+    /// exactly one knob moved.
+    fn scenario(self, window: u64) -> Scenario {
+        let base = |load: f64, max_transfer: u64| {
+            Scenario::patronoc()
+                .traffic(TrafficSpec::uniform_copies(load, max_transfer))
+                .warmup(20_000)
+                .window(window)
+                .seed(0xAB1A)
+        };
+        match self {
+            Job::Mot { mot, max_transfer } => base(1.0, max_transfer).max_outstanding(mot),
+            Job::Slices { stages } => base(0.05, 1000).link_stages(stages),
+            Job::Conn(conn) => base(1.0, 1000).connectivity(conn),
+            Job::Algo(algo) => base(1.0, 1000).algorithm(algo),
+            Job::Topo(topo) => base(1.0, 1000).topology(topo),
+        }
+    }
 }
 
 const MOTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
@@ -81,32 +83,12 @@ fn main() {
         jobs.push(Job::Topo(topo));
     }
 
-    let results: Vec<(f64, f64)> = opts.run_points(&jobs, |job| match *job {
-        Job::Mot { mot, max_transfer } => {
-            let axi = AxiParams::new(32, 32, 4, mot).expect("mot sweep");
-            run(
-                NocConfig::new(axi, Topology::mesh4x4()),
-                1.0,
-                max_transfer,
-                window,
-            )
-        }
-        Job::Slices { stages } => {
-            let mut cfg = NocConfig::slim_4x4();
-            cfg.link_stages = stages;
-            run(cfg, 0.05, 1000, window)
-        }
-        Job::Conn(conn) => {
-            let mut cfg = NocConfig::slim_4x4();
-            cfg.connectivity = conn;
-            run(cfg, 1.0, 1000, window)
-        }
-        Job::Algo(algo) => {
-            let mut cfg = NocConfig::slim_4x4();
-            cfg.algorithm = algo;
-            run(cfg, 1.0, 1000, window)
-        }
-        Job::Topo(topo) => run(NocConfig::new(AxiParams::slim(), topo), 1.0, 1000, window),
+    let results: Vec<(f64, f64)> = opts.run_points(&jobs, |job| {
+        let report = job
+            .scenario(window)
+            .run()
+            .expect("ablation scenarios are valid");
+        (report.throughput_gib_s, report.mean_latency)
     });
     // Bucket results by their own job descriptor (not by position), so
     // reordering or extending the grid above cannot silently mislabel a

@@ -3,7 +3,7 @@
 //! two configurations against the slim (DW = 32) PATRONoC at five DMA
 //! burst-length caps.
 //!
-//! The 13 loads × 7 curves form a grid of independent simulations executed
+//! The 13 loads × 7 curves form a grid of `Scenario` values executed
 //! across `--jobs` workers (default: all cores; env `BENCH_JOBS`); output
 //! is bit-identical for every worker count. Runtime: ~2–4 core-minutes in
 //! release mode. `--quick` (or `FIG4_QUICK=1`) runs a coarse fast sweep;
@@ -12,22 +12,49 @@
 use bench::defaults::{self, BURST_CAPS, LOADS, WARMUP, WINDOW};
 use bench::json::Json;
 use bench::sweep::SweepOptions;
-use bench::{noxim_uniform_point, patronoc_uniform_point};
-use packetnoc::PacketNocConfig;
+use bench::{noxim_uniform_scenario, patronoc_uniform_scenario};
+use scenario::{PacketProfile, Scenario};
 
 /// One curve of the figure: a PATRONoC burst cap or a baseline config.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 enum Curve {
-    Patronoc { cap: u64 },
-    Noxim { index: usize, cfg: PacketNocConfig },
+    Patronoc {
+        cap: u64,
+    },
+    Noxim {
+        index: usize,
+        profile: PacketProfile,
+    },
 }
 
 impl Curve {
-    fn label(&self) -> String {
+    fn label(self) -> String {
         match self {
             Curve::Patronoc { cap } => format!("burst<{cap}"),
             Curve::Noxim { index: 0, .. } => "noxim(1,4)".into(),
             Curve::Noxim { .. } => "noxim(4,32)".into(),
+        }
+    }
+
+    /// The scenario of this curve's point at one load coordinate.
+    fn scenario(self, load_index: usize, load: f64, window: u64, warmup: u64) -> Scenario {
+        match self {
+            Curve::Patronoc { cap } => patronoc_uniform_scenario(
+                32,
+                load,
+                cap,
+                window,
+                warmup,
+                defaults::fig4_patronoc_seed(cap, load_index),
+            ),
+            Curve::Noxim { index, profile } => noxim_uniform_scenario(
+                profile,
+                load,
+                100,
+                window,
+                warmup,
+                defaults::fig4_noxim_seed(index, load_index),
+            ),
         }
     }
 }
@@ -51,38 +78,24 @@ fn main() {
         .collect();
     curves.push(Curve::Noxim {
         index: 0,
-        cfg: PacketNocConfig::noxim_compact(),
+        profile: PacketProfile::Compact,
     });
     curves.push(Curve::Noxim {
         index: 1,
-        cfg: PacketNocConfig::noxim_high_performance(),
+        profile: PacketProfile::HighPerformance,
     });
 
-    // The sweep grid, row-major in load so `cells[li * curves + ci]`
-    // addresses the printed table directly.
-    let cells: Vec<(usize, usize)> = (0..loads.len())
-        .flat_map(|li| (0..curves.len()).map(move |ci| (li, ci)))
+    // The sweep grid: one Scenario per cell, row-major in load so
+    // `cells[li * curves + ci]` addresses the printed table directly.
+    let scenarios: Vec<Scenario> = (0..loads.len())
+        .flat_map(|li| {
+            let loads = &loads;
+            let curves = &curves;
+            (0..curves.len()).map(move |ci| curves[ci].scenario(li, loads[li], window, warmup))
+        })
         .collect();
-    let results: Vec<f64> = opts.run_points(&cells, |&(li, ci)| {
-        let load = loads[li];
-        match &curves[ci] {
-            Curve::Patronoc { cap } => patronoc_uniform_point(
-                32,
-                load,
-                *cap,
-                window,
-                warmup,
-                defaults::fig4_patronoc_seed(*cap, li),
-            ),
-            Curve::Noxim { index, cfg } => noxim_uniform_point(
-                cfg.clone(),
-                load,
-                100,
-                window,
-                warmup,
-                defaults::fig4_noxim_seed(*index, li),
-            ),
-        }
+    let results: Vec<f64> = opts.run_points(&scenarios, |sc| {
+        sc.run().expect("valid fig4 scenario").throughput_gib_s
     });
     let cell = |li: usize, ci: usize| results[li * curves.len() + ci];
 

@@ -6,15 +6,16 @@
 //! twice the §IV both-ways bisection bandwidth (32 GiB/s slim, 512 GiB/s
 //! wide in the paper's rounding) — which bounds it at 100 %.
 //!
-//! The 2 × 3 × 5 grid executes across `--jobs` workers (env `BENCH_JOBS`);
-//! output is bit-identical for every worker count. `--quick` (or
-//! `FIG6_QUICK=1`) runs a coarse sweep; `--json PATH` writes
-//! machine-readable results.
+//! The 2 × 3 × 5 grid of `Scenario` values executes across `--jobs`
+//! workers (env `BENCH_JOBS`); output is bit-identical for every worker
+//! count. `--quick` (or `FIG6_QUICK=1`) runs a coarse sweep; `--json PATH`
+//! writes machine-readable results.
 
 use bench::defaults::{BURST_CAPS, WARMUP, WINDOW};
 use bench::json::Json;
 use bench::sweep::SweepOptions;
-use bench::synthetic_point;
+use bench::{synthetic_scenario, utilization_point};
+use scenario::Scenario;
 use traffic::SyntheticPattern;
 
 fn main() {
@@ -31,15 +32,17 @@ fn main() {
     ];
     let widths = [(32u32, "Slim"), (512, "Wide")];
 
-    let cells: Vec<(usize, usize, usize)> = (0..widths.len())
-        .flat_map(|wi| {
-            (0..patterns.len())
-                .flat_map(move |pi| (0..BURST_CAPS.len()).map(move |bi| (wi, pi, bi)))
+    let scenarios: Vec<(u64, Scenario)> = widths
+        .iter()
+        .flat_map(|&(dw, _)| {
+            patterns.iter().flat_map(move |&(pattern, _)| {
+                BURST_CAPS
+                    .iter()
+                    .map(move |&cap| (cap, synthetic_scenario(dw, pattern, cap, window, warmup)))
+            })
         })
         .collect();
-    let results = opts.run_points(&cells, |&(wi, pi, bi)| {
-        synthetic_point(widths[wi].0, patterns[pi].0, BURST_CAPS[bi], window, warmup)
-    });
+    let results = opts.run_points(&scenarios, |(cap, sc)| utilization_point(sc, *cap));
     let cell = |wi: usize, pi: usize, bi: usize| {
         results[(wi * patterns.len() + pi) * BURST_CAPS.len() + bi]
     };

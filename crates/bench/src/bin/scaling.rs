@@ -7,17 +7,19 @@
 //! showing how dimension-ordered meshes lose per-node bandwidth as they
 //! grow (the reason the paper floats CMesh/torus variants).
 //!
-//! Each mesh size is an independent simulation run across `--jobs` workers
-//! (env `BENCH_JOBS`); output is bit-identical for every worker count.
-//! `--quick` (or `SCALING_QUICK=1`) shrinks the window; `--json PATH`
-//! writes machine-readable results.
+//! Each mesh size is a `Scenario` (master count and traffic sizing derive
+//! from the topology) run across `--jobs` workers (env `BENCH_JOBS`);
+//! output is bit-identical for every worker count. The link-occupancy
+//! probe needs the concrete engine, so this binary instantiates through
+//! `Scenario::build_noc_sim` rather than `Scenario::run`. `--quick` (or
+//! `SCALING_QUICK=1`) shrinks the window; `--json PATH` writes
+//! machine-readable results.
 
-use axi::AxiParams;
 use bench::json::Json;
 use bench::sweep::SweepOptions;
-use patronoc::{NocConfig, NocSim, Topology};
+use patronoc::Topology;
 use physical::{bisection::bisection_bandwidth_gib_s, AreaModel, BisectionCounting};
-use traffic::{UniformConfig, UniformRandom};
+use scenario::{Scenario, TrafficSpec};
 
 struct MeshRow {
     area_kge: f64,
@@ -32,28 +34,33 @@ fn main() {
     let model = AreaModel::calibrated();
     let dims = [2usize, 3, 4, 6, 8];
 
-    let results: Vec<MeshRow> = opts.run_points(&dims, |&dim| {
-        let topo = Topology::Mesh {
-            cols: dim,
-            rows: dim,
-        };
-        let n = topo.num_nodes();
-        let axi = AxiParams::new(32, 64, 4, 8).expect("scaling sweep params");
-        let mut sim = NocSim::new(NocConfig::new(axi, topo)).expect("valid config");
-        let mut src = UniformRandom::new_copies(UniformConfig {
-            masters: n,
-            slaves: (0..n).collect(),
-            load: 1.0,
-            bytes_per_cycle: 8.0,
-            max_transfer: 4096,
-            read_fraction: 0.5,
-            region_size: 1 << 24,
-            seed: 21,
-        });
-        let report = sim.run(&mut src, window + 20_000, 20_000);
+    let scenarios: Vec<Scenario> = dims
+        .iter()
+        .map(|&dim| {
+            Scenario::patronoc()
+                .topology(Topology::Mesh {
+                    cols: dim,
+                    rows: dim,
+                })
+                .data_width(64)
+                .traffic(TrafficSpec::uniform_copies(1.0, 4096))
+                .warmup(20_000)
+                .window(window)
+                .seed(21)
+        })
+        .collect();
+    let results: Vec<MeshRow> = opts.run_points(&scenarios, |sc| {
+        let mut sim = sc.build_noc_sim().expect("valid scaling scenario");
+        let mut src = sc.build_source();
+        let report = sim.run(&mut *src, sc.warmup + sc.window, sc.warmup);
+        let axi = sim.config().axi;
         MeshRow {
-            area_kge: model.mesh_area_kge(topo, axi),
-            bisection_gib_s: bisection_bandwidth_gib_s(topo, 64, BisectionCounting::BothWays),
+            area_kge: model.mesh_area_kge(sc.topology, axi),
+            bisection_gib_s: bisection_bandwidth_gib_s(
+                sc.topology,
+                sc.data_width,
+                BisectionCounting::BothWays,
+            ),
             gib_s: report.throughput_gib_s,
             peak_link_occupancy: sim.peak_link_occupancy(),
         }

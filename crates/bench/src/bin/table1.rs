@@ -6,8 +6,9 @@
 #![allow(clippy::print_literal)] // tabular output reads better with aligned literal args
 
 use axi::AxiParams;
-use patronoc::{NocConfig, NocSim, Topology};
+use patronoc::Topology;
 use physical::power::{platform_share, power_mw};
+use scenario::Scenario;
 
 fn main() {
     println!("Table I — main parameters of the PATRONoC 2D mesh");
@@ -38,21 +39,36 @@ fn main() {
     );
     println!();
 
-    // Exhaustive-corner validation.
+    // Exhaustive-corner validation through the Scenario builder: every
+    // in-range corner must instantiate a simulator, every out-of-range
+    // value must surface as a configuration error.
     let mut accepted = 0;
     let mut rejected = 0;
     for aw in [16u32, 32, 64, 128] {
         for dw in [4u32, 8, 48, 1024, 2048] {
             for iw in [0u32, 1, 16, 17] {
                 for mot in [0u32, 1, 128, 129] {
+                    let corner = Scenario::patronoc()
+                        .topology(Topology::mesh2x2())
+                        .addr_width(aw)
+                        .data_width(dw)
+                        .id_width(iw)
+                        .max_outstanding(mot);
+                    // The scenario must accept exactly the AXI parameter
+                    // space: every valid corner instantiates a simulator,
+                    // every invalid one surfaces a configuration error.
                     match AxiParams::new(aw, dw, iw, mot) {
                         Ok(axi) => {
                             accepted += 1;
-                            // Every accepted parameter set must instantiate.
-                            let cfg = NocConfig::new(axi, Topology::mesh2x2());
-                            assert!(NocSim::new(cfg).is_ok(), "{axi} failed to build");
+                            assert!(corner.build_noc_sim().is_ok(), "{axi} failed to build");
                         }
-                        Err(_) => rejected += 1,
+                        Err(_) => {
+                            rejected += 1;
+                            assert!(
+                                corner.build_noc_sim().is_err(),
+                                "AW={aw} DW={dw} IW={iw} MOT={mot} built despite invalid params"
+                            );
+                        }
                     }
                 }
             }

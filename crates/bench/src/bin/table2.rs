@@ -11,8 +11,8 @@
 
 use bench::json::Json;
 use bench::sweep::SweepOptions;
-use patronoc::Topology;
 use physical::{bisection_bandwidth_gbps, BisectionCounting};
+use scenario::Scenario;
 
 struct Row {
     work: &'static str,
@@ -142,8 +142,11 @@ fn main() {
             r.work, r.open_source, r.full_axi, r.burst, r.configurable, r.bw_gbps
         );
     }
-    // PATRONoC's row, computed from the model.
-    let bw = bisection_bandwidth_gbps(Topology::mesh4x4(), 512, BisectionCounting::OneWay);
+    // PATRONoC's row, computed from the model at the wide evaluation
+    // point — named as a Scenario so the row's configuration is the same
+    // inspectable value the simulating binaries use.
+    let wide = Scenario::patronoc().data_width(512);
+    let bw = bisection_bandwidth_gbps(wide.topology, wide.data_width, BisectionCounting::OneWay);
     println!(
         "{:<18} {:<8} {:<14} {:<8} {:<12} {:>12.0}",
         "PATRONoC (this)", "yes", "yes", "yes", "yes", bw
@@ -151,7 +154,7 @@ fn main() {
     println!();
     println!(
         "PATRONoC 4x4 DW=512 bisection: {bw:.0} Gb/s one-way, {:.0} Gb/s both-ways (paper row: 2700)",
-        bisection_bandwidth_gbps(Topology::mesh4x4(), 512, BisectionCounting::BothWays)
+        bisection_bandwidth_gbps(wide.topology, wide.data_width, BisectionCounting::BothWays)
     );
 
     let mut json_rows: Vec<Json> = rows

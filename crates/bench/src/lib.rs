@@ -2,19 +2,17 @@
 //!
 //! Each `bin/` target regenerates one table or figure of the paper; the
 //! heavy lifting lives here so the integration tests can exercise the same
-//! code paths with reduced cycle budgets. Sweep grids execute in parallel
-//! through [`sweep`] (every point is an independent simulation with a
-//! coordinate-derived seed), and results can be emitted as JSON artifacts
-//! through [`json`]; the full methodology is recorded in `EXPERIMENTS.md`
-//! at the repository root.
+//! code paths with reduced cycle budgets. Every point-runner is a thin
+//! wrapper that builds a [`scenario::Scenario`] — one inspectable value
+//! naming engine × topology × traffic × stop condition × seed — and runs
+//! it; sweep grids are grids of such scenarios executed in parallel
+//! through [`sweep`] (every point carries a coordinate-derived seed), and
+//! results can be emitted as JSON artifacts through [`json`]. The full
+//! methodology is recorded in `EXPERIMENTS.md` at the repository root.
 
-use axi::AxiParams;
-use packetnoc::{PacketNocConfig, PacketNocSim};
-use patronoc::{NocConfig, NocSim, Topology};
-use traffic::{
-    DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic, TrafficSource,
-    UniformConfig, UniformRandom,
-};
+use scenario::{PacketProfile, Scenario, TrafficSpec};
+use simkit::StopReason;
+use traffic::{DnnWorkload, SyntheticPattern};
 
 pub mod json;
 pub mod sweep;
@@ -53,11 +51,13 @@ pub mod defaults {
     }
 
     /// Seed of one Fig. 6 synthetic-pattern point, derived from its burst
-    /// cap (the pattern and data width select the simulated system, not the
-    /// random stream).
+    /// cap through the standard [`crate::sweep::point_seed`] chain with
+    /// grid-family coordinate 2 (0 and 1 are the Fig. 4 families). The
+    /// pattern and data width select the simulated *system*, not the
+    /// random stream, so they stay out of the seed.
     #[must_use]
     pub fn fig6_seed(burst_cap: u64) -> u64 {
-        SEED ^ burst_cap
+        crate::sweep::point_seed(SEED, &[2, burst_cap])
     }
 }
 
@@ -74,24 +74,28 @@ pub struct LoadPoint {
     pub gib_s: f64,
 }
 
-fn uniform_cfg(dw_bits: u32, load: f64, max_transfer: u64, seed: u64) -> UniformConfig {
-    UniformConfig {
-        masters: 16,
-        slaves: (0..16).collect(),
-        load,
-        bytes_per_cycle: f64::from(dw_bits) / 8.0,
-        max_transfer,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed,
-    }
+/// The scenario of one Fig. 4 PATRONoC point: the 4×4 mesh under uniform
+/// random memory-to-memory copies ("a random burst length with a random
+/// source and destination address", §IV — the payload crosses the NoC
+/// twice and is counted once, at the destination).
+#[must_use]
+pub fn patronoc_uniform_scenario(
+    dw_bits: u32,
+    load: f64,
+    max_transfer: u64,
+    window: u64,
+    warmup: u64,
+    seed: u64,
+) -> Scenario {
+    Scenario::patronoc()
+        .data_width(dw_bits)
+        .traffic(TrafficSpec::uniform_copies(load, max_transfer))
+        .warmup(warmup)
+        .window(window)
+        .seed(seed)
 }
 
 /// Runs the 4×4 PATRONoC under uniform random traffic (one Fig. 4 point).
-///
-/// Transfers are memory-to-memory *copies* ("a random burst length with a
-/// random source and destination address", §IV): the payload crosses the
-/// NoC twice and is counted once, at the destination.
 #[must_use]
 pub fn patronoc_uniform_point(
     dw_bits: u32,
@@ -101,29 +105,47 @@ pub fn patronoc_uniform_point(
     warmup: u64,
     seed: u64,
 ) -> f64 {
-    let axi = AxiParams::new(32, dw_bits, 4, 8).expect("valid sweep parameters");
-    let cfg = NocConfig::new(axi, Topology::mesh4x4());
-    let mut sim = NocSim::new(cfg).expect("valid configuration");
-    let mut src = UniformRandom::new_copies(uniform_cfg(dw_bits, load, max_transfer, seed));
-    sim.run(&mut src, warmup + window, warmup).throughput_gib_s
+    patronoc_uniform_scenario(dw_bits, load, max_transfer, window, warmup, seed)
+        .run()
+        .expect("valid scenario")
+        .throughput_gib_s
 }
 
-/// Runs the Noxim-style baseline under the same uniform random traffic.
-/// The baseline has no burst support: transfer length only affects how many
-/// fixed packets the NI emits.
+/// The scenario of one Fig. 4 baseline point: the Noxim-style packet NoC
+/// under the same uniform random traffic. The baseline has no burst
+/// support — transfer length only affects how many fixed packets the NI
+/// emits — and no single-transaction copies, so the stimulus is the
+/// read/write variant.
+#[must_use]
+pub fn noxim_uniform_scenario(
+    profile: PacketProfile,
+    load: f64,
+    max_transfer: u64,
+    window: u64,
+    warmup: u64,
+    seed: u64,
+) -> Scenario {
+    Scenario::packet(profile)
+        .traffic(TrafficSpec::uniform(load, max_transfer))
+        .warmup(warmup)
+        .window(window)
+        .seed(seed)
+}
+
+/// Runs the Noxim-style baseline under uniform random traffic.
 #[must_use]
 pub fn noxim_uniform_point(
-    cfg: PacketNocConfig,
+    profile: PacketProfile,
     load: f64,
     max_transfer: u64,
     window: u64,
     warmup: u64,
     seed: u64,
 ) -> f64 {
-    let flit_bits = cfg.flit_bytes * 8;
-    let mut sim = PacketNocSim::new(cfg);
-    let mut src = UniformRandom::new(uniform_cfg(flit_bits, load, max_transfer, seed));
-    sim.run(&mut src, warmup + window, warmup).throughput_gib_s
+    noxim_uniform_scenario(profile, load, max_transfer, window, warmup, seed)
+        .run()
+        .expect("valid scenario")
+        .throughput_gib_s
 }
 
 /// Sweeps injected load for PATRONoC at one burst cap (one Fig. 4 curve),
@@ -140,7 +162,7 @@ pub fn patronoc_uniform_curve(
 }
 
 /// Sweeps injected load for PATRONoC at one burst cap across `jobs` worker
-/// threads. Each point is an independent simulation seeded by
+/// threads. The grid is a `Vec` of [`Scenario`] values, each seeded by
 /// [`defaults::fig4_patronoc_seed`], and results come back in load order,
 /// so the returned curve is identical for every `jobs` value.
 #[must_use]
@@ -152,17 +174,26 @@ pub fn patronoc_uniform_curve_jobs(
     warmup: u64,
     jobs: usize,
 ) -> Vec<LoadPoint> {
-    let points: Vec<(usize, f64)> = loads.iter().copied().enumerate().collect();
-    sweep::run_points(jobs, &points, |&(i, load)| LoadPoint {
-        load,
-        gib_s: patronoc_uniform_point(
-            dw_bits,
-            load,
-            max_transfer,
-            window,
-            warmup,
-            defaults::fig4_patronoc_seed(max_transfer, i),
-        ),
+    let scenarios: Vec<(f64, Scenario)> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            (
+                load,
+                patronoc_uniform_scenario(
+                    dw_bits,
+                    load,
+                    max_transfer,
+                    window,
+                    warmup,
+                    defaults::fig4_patronoc_seed(max_transfer, i),
+                ),
+            )
+        })
+        .collect();
+    sweep::run_points(jobs, &scenarios, |(load, sc)| LoadPoint {
+        load: *load,
+        gib_s: sc.run().expect("valid scenario").throughput_gib_s,
     })
 }
 
@@ -185,6 +216,38 @@ pub struct UtilizationPoint {
     pub utilization_pct: f64,
 }
 
+/// The scenario of one Fig. 6 bar: a synthetic pattern at maximum injected
+/// load on the 4×4 mesh, slaves placed by the pattern.
+#[must_use]
+pub fn synthetic_scenario(
+    dw_bits: u32,
+    pattern: SyntheticPattern,
+    burst_cap: u64,
+    window: u64,
+    warmup: u64,
+) -> Scenario {
+    Scenario::patronoc()
+        .data_width(dw_bits)
+        .traffic(TrafficSpec::synthetic(pattern, burst_cap))
+        .warmup(warmup)
+        .window(window)
+        .seed(defaults::fig6_seed(burst_cap))
+}
+
+/// Converts a Fig. 6 scenario's report into the figure's bar, dividing by
+/// the bisection data capacity of the scenario's mesh at its data width.
+#[must_use]
+pub fn utilization_point(scenario: &Scenario, burst_cap: u64) -> UtilizationPoint {
+    let report = scenario.run().expect("valid scenario");
+    let capacity_gib =
+        physical::bisection_data_capacity_gib_s(scenario.topology, scenario.data_width);
+    UtilizationPoint {
+        burst_cap,
+        gib_s: report.throughput_gib_s,
+        utilization_pct: 100.0 * report.throughput_gib_s / capacity_gib,
+    }
+}
+
 /// Runs one synthetic pattern at maximum injected load (Fig. 6).
 #[must_use]
 pub fn synthetic_point(
@@ -194,29 +257,10 @@ pub fn synthetic_point(
     window: u64,
     warmup: u64,
 ) -> UtilizationPoint {
-    let axi = AxiParams::new(32, dw_bits, 4, 8).expect("valid sweep parameters");
-    let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
-    // Slaves only where the pattern places them.
-    cfg.slaves = pattern.slave_nodes(4, 4);
-    let mut sim = NocSim::new(cfg).expect("valid configuration");
-    let mut src = SyntheticTraffic::new(SyntheticConfig {
-        cols: 4,
-        rows: 4,
-        pattern,
-        load: 1.0,
-        bytes_per_cycle: f64::from(dw_bits) / 8.0,
-        max_transfer: burst_cap,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed: defaults::fig6_seed(burst_cap),
-    });
-    let report = sim.run(&mut src, warmup + window, warmup);
-    let capacity_gib = physical::bisection_data_capacity_gib_s(Topology::mesh4x4(), dw_bits);
-    UtilizationPoint {
+    utilization_point(
+        &synthetic_scenario(dw_bits, pattern, burst_cap, window, warmup),
         burst_cap,
-        gib_s: report.throughput_gib_s,
-        utilization_pct: 100.0 * report.throughput_gib_s / capacity_gib,
-    }
+    )
 }
 
 /// Result of one DNN workload run (one Fig. 8 bar).
@@ -226,35 +270,56 @@ pub struct DnnPoint {
     pub workload: DnnWorkload,
     /// Aggregate throughput in GiB/s over the trace's execution.
     pub gib_s: f64,
-    /// Total bytes the trace moved.
+    /// Total bytes the trace offered.
     pub bytes: u64,
-    /// Cycles the trace took.
+    /// Cycles the run took.
     pub cycles: u64,
+    /// [`StopReason::Drained`] when the trace completed within the budget;
+    /// [`StopReason::Budget`] when it was cut off — surfaced instead of
+    /// panicking so the figure binaries can report the miss.
+    pub stop_reason: StopReason,
 }
 
-/// Runs one DNN workload trace to completion on the 4×4 mesh (Fig. 8).
+impl DnnPoint {
+    /// Whether the trace finished within its cycle budget.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.stop_reason == StopReason::Drained
+    }
+}
+
+/// The scenario of one Fig. 8 bar: a DNN workload trace run to drain on
+/// the 4×4 mesh under a 500M-cycle budget.
 #[must_use]
-pub fn dnn_point(dw_bits: u32, workload: DnnWorkload, steps: usize) -> DnnPoint {
-    let axi = AxiParams::new(32, dw_bits, 4, 8).expect("valid sweep parameters");
-    let cfg = NocConfig::new(axi, Topology::mesh4x4());
-    let mut sim = NocSim::new(cfg).expect("valid configuration");
-    let dnn_cfg = traffic::dnn::DnnConfig {
-        steps,
-        ..traffic::dnn::DnnConfig::for_workload(workload)
-    };
-    let mut src = DnnTraffic::new(&dnn_cfg);
-    let total = src.total_bytes();
-    let report = sim.run(&mut src, 500_000_000, 0);
-    assert!(
-        src.is_done(),
-        "trace did not finish within the cycle budget"
-    );
+pub fn dnn_scenario(dw_bits: u32, workload: DnnWorkload, steps: usize) -> Scenario {
+    Scenario::patronoc()
+        .data_width(dw_bits)
+        .traffic(TrafficSpec::dnn(workload, steps))
+        .budget(500_000_000)
+        .seed(1)
+}
+
+/// Runs a DNN scenario built by [`dnn_scenario`] (Fig. 8). A trace that
+/// misses the cycle budget comes back with [`StopReason::Budget`] — check
+/// [`DnnPoint::completed`] instead of expecting a panic.
+#[must_use]
+pub fn dnn_point_for(scenario: &Scenario, workload: DnnWorkload) -> DnnPoint {
+    let mut trace = scenario.build_dnn_trace().expect("a DNN scenario");
+    let offered = trace.total_bytes();
+    let report = scenario.run_with(&mut trace).expect("valid scenario");
     DnnPoint {
         workload,
         gib_s: report.throughput_gib_s,
-        bytes: total,
+        bytes: offered,
         cycles: report.cycles,
+        stop_reason: report.stop_reason,
     }
+}
+
+/// Runs one DNN workload trace on the 4×4 mesh (Fig. 8).
+#[must_use]
+pub fn dnn_point(dw_bits: u32, workload: DnnWorkload, steps: usize) -> DnnPoint {
+    dnn_point_for(&dnn_scenario(dw_bits, workload, steps), workload)
 }
 
 /// Formats a GiB/s value the way the paper's plots label them.
@@ -275,7 +340,7 @@ mod tests {
         // Fig. 4 crossover: at ≤4 B bursts, PATRONoC ≈ Noxim ≈ 1.5–2.3 GiB/s.
         let patronoc = patronoc_uniform_point(32, 1.0, 4, QUICK_WINDOW, QUICK_WARMUP, 1);
         let noxim = noxim_uniform_point(
-            PacketNocConfig::noxim_compact(),
+            PacketProfile::Compact,
             1.0,
             4,
             QUICK_WINDOW,
@@ -298,7 +363,7 @@ mod tests {
         // Fig. 4 headline: ≥8× at 10–64 KiB bursts.
         let patronoc = patronoc_uniform_point(32, 1.0, 10_000, QUICK_WINDOW, QUICK_WARMUP, 2);
         let noxim = noxim_uniform_point(
-            PacketNocConfig::noxim_high_performance(),
+            PacketProfile::HighPerformance,
             1.0,
             10_000,
             QUICK_WINDOW,
@@ -372,5 +437,17 @@ mod tests {
             two.gib_s,
             global.gib_s
         );
+    }
+
+    #[test]
+    fn dnn_budget_miss_is_reported_not_panicked() {
+        // A budget far below any trace's runtime: the point must come back
+        // with StopReason::Budget instead of tripping an assert.
+        let scenario = dnn_scenario(32, DnnWorkload::PipelinedConv, 1).budget(1_000);
+        let report = scenario.run().expect("valid scenario");
+        assert_eq!(report.stop_reason, StopReason::Budget);
+        // And the full-budget point completes.
+        let p = dnn_point(512, DnnWorkload::PipelinedConv, 1);
+        assert!(p.completed(), "stop reason {:?}", p.stop_reason);
     }
 }

@@ -5,7 +5,8 @@
 //! for every worker count.
 
 use bench::sweep;
-use bench::{patronoc_uniform_curve_jobs, synthetic_point};
+use bench::{patronoc_uniform_curve_jobs, synthetic_point, synthetic_scenario};
+use scenario::Scenario;
 use traffic::SyntheticPattern;
 
 const QUICK_WINDOW: u64 = 8_000;
@@ -52,6 +53,42 @@ fn fig6_grid_bit_identical_across_jobs() {
         assert_eq!(s.burst_cap, p.burst_cap);
         assert_eq!(s.gib_s.to_bits(), p.gib_s.to_bits());
         assert_eq!(s.utilization_pct.to_bits(), p.utilization_pct.to_bits());
+    }
+}
+
+#[test]
+fn scenario_grid_bit_identical_across_jobs() {
+    // The redesign's contract restated at the builder level: a grid of
+    // Scenario values — mixed engines, traffic classes and seeds — must
+    // produce bit-identical reports for every worker count.
+    let grid: Vec<Scenario> = vec![
+        bench::patronoc_uniform_scenario(32, 1.0, 1_000, QUICK_WINDOW, QUICK_WARMUP, 41),
+        bench::noxim_uniform_scenario(
+            scenario::PacketProfile::Compact,
+            1.0,
+            100,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+            42,
+        ),
+        synthetic_scenario(
+            32,
+            SyntheticPattern::MaxTwoHop,
+            1_000,
+            QUICK_WINDOW,
+            QUICK_WARMUP,
+        ),
+        bench::dnn_scenario(512, traffic::DnnWorkload::PipelinedConv, 1),
+    ];
+    let run = |jobs: usize| sweep::run_points(jobs, &grid, |sc| sc.run().expect("valid scenario"));
+    let serial = run(1);
+    let parallel = run(4);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.cycles, p.cycles);
+        assert_eq!(s.payload_bytes, p.payload_bytes);
+        assert_eq!(s.stop_reason, p.stop_reason);
+        assert_eq!(s.throughput_gib_s.to_bits(), p.throughput_gib_s.to_bits());
+        assert_eq!(s.mean_latency.to_bits(), p.mean_latency.to_bits());
     }
 }
 

@@ -1,0 +1,148 @@
+//! Scenario-equivalence: the builder API must reproduce the results of
+//! the pre-redesign free-function path **bit for bit**. Each test
+//! re-states the old path — direct engine + traffic-source construction,
+//! exactly as `bench`'s point-runners were written before the `scenario`
+//! crate existed — and compares its report against the same run expressed
+//! as a `Scenario`.
+
+use axi::AxiParams;
+use bench::{defaults, dnn_scenario, noxim_uniform_scenario, patronoc_uniform_scenario};
+use packetnoc::{PacketNocConfig, PacketNocSim};
+use patronoc::{NocConfig, NocSim, Topology};
+use scenario::{PacketProfile, Scenario, TrafficSpec};
+use simkit::SimReport;
+use traffic::{
+    dnn::DnnConfig, DnnTraffic, DnnWorkload, SyntheticConfig, SyntheticPattern, SyntheticTraffic,
+    TrafficSource, UniformConfig, UniformRandom,
+};
+
+const WINDOW: u64 = 10_000;
+const WARMUP: u64 = 2_000;
+
+fn uniform_cfg(dw_bits: u32, load: f64, max_transfer: u64, seed: u64) -> UniformConfig {
+    // The old `bench::uniform_cfg` helper, 16-master literals included.
+    UniformConfig {
+        masters: 16,
+        slaves: (0..16).collect(),
+        load,
+        bytes_per_cycle: f64::from(dw_bits) / 8.0,
+        max_transfer,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed,
+    }
+}
+
+fn assert_bit_identical(old: &SimReport, new: &SimReport) {
+    assert_eq!(old.cycles, new.cycles);
+    assert_eq!(old.payload_bytes, new.payload_bytes);
+    assert_eq!(old.transfers_completed, new.transfers_completed);
+    assert_eq!(old.p99_latency, new.p99_latency);
+    assert_eq!(
+        old.throughput_gib_s.to_bits(),
+        new.throughput_gib_s.to_bits(),
+        "throughput: old {} vs new {}",
+        old.throughput_gib_s,
+        new.throughput_gib_s
+    );
+    assert_eq!(old.mean_latency.to_bits(), new.mean_latency.to_bits());
+}
+
+#[test]
+fn patronoc_uniform_scenario_reproduces_free_function_path() {
+    for (dw, load, cap) in [(32u32, 1.0, 1_000u64), (32, 0.1, 64_000), (512, 0.5, 100)] {
+        let seed = defaults::fig4_patronoc_seed(cap, 3);
+        // Old path: bench::patronoc_uniform_point's body before the redesign.
+        let axi = AxiParams::new(32, dw, 4, 8).expect("valid sweep parameters");
+        let cfg = NocConfig::new(axi, Topology::mesh4x4());
+        let mut sim = NocSim::new(cfg).expect("valid configuration");
+        let mut src = UniformRandom::new_copies(uniform_cfg(dw, load, cap, seed));
+        let old = sim.run(&mut src, WARMUP + WINDOW, WARMUP);
+        // New path: the Scenario builder.
+        let new = patronoc_uniform_scenario(dw, load, cap, WINDOW, WARMUP, seed)
+            .run()
+            .expect("valid scenario");
+        assert_bit_identical(&old, &new);
+    }
+}
+
+#[test]
+fn noxim_uniform_scenario_reproduces_free_function_path() {
+    for (profile, cfg) in [
+        (PacketProfile::Compact, PacketNocConfig::noxim_compact()),
+        (
+            PacketProfile::HighPerformance,
+            PacketNocConfig::noxim_high_performance(),
+        ),
+    ] {
+        let seed = defaults::fig4_noxim_seed(0, 2);
+        // Old path: bench::noxim_uniform_point's body before the redesign.
+        let flit_bits = cfg.flit_bytes * 8;
+        let mut sim = PacketNocSim::new(cfg);
+        let mut src = UniformRandom::new(uniform_cfg(flit_bits, 1.0, 100, seed));
+        let old = sim.run(&mut src, WARMUP + WINDOW, WARMUP);
+        let new = noxim_uniform_scenario(profile, 1.0, 100, WINDOW, WARMUP, seed)
+            .run()
+            .expect("valid scenario");
+        assert_bit_identical(&old, &new);
+    }
+}
+
+#[test]
+fn synthetic_scenario_reproduces_free_function_path() {
+    for pattern in [
+        SyntheticPattern::AllGlobal,
+        SyntheticPattern::MaxTwoHop,
+        SyntheticPattern::MaxSingleHop,
+    ] {
+        let cap = 10_000;
+        let seed = defaults::fig6_seed(cap);
+        // Old path: bench::synthetic_point's body before the redesign.
+        let axi = AxiParams::new(32, 32, 4, 8).expect("valid sweep parameters");
+        let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
+        cfg.slaves = pattern.slave_nodes(4, 4);
+        let mut sim = NocSim::new(cfg).expect("valid configuration");
+        let mut src = SyntheticTraffic::new(SyntheticConfig {
+            cols: 4,
+            rows: 4,
+            pattern,
+            load: 1.0,
+            bytes_per_cycle: 4.0,
+            max_transfer: cap,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed,
+        });
+        let old = sim.run(&mut src, WARMUP + WINDOW, WARMUP);
+        let new = Scenario::patronoc()
+            .traffic(TrafficSpec::synthetic(pattern, cap))
+            .warmup(WARMUP)
+            .window(WINDOW)
+            .seed(seed)
+            .run()
+            .expect("valid scenario");
+        assert_bit_identical(&old, &new);
+    }
+}
+
+#[test]
+fn dnn_scenario_reproduces_free_function_path() {
+    // Old path: bench::dnn_point's body before the redesign (minus the
+    // assert-on-budget-miss, which the unified StopReason replaced).
+    let axi = AxiParams::new(32, 512, 4, 8).expect("valid sweep parameters");
+    let cfg = NocConfig::new(axi, Topology::mesh4x4());
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let dnn_cfg = DnnConfig {
+        steps: 1,
+        ..DnnConfig::for_workload(DnnWorkload::PipelinedConv)
+    };
+    let mut src = DnnTraffic::new(&dnn_cfg);
+    let old = sim.run(&mut src, 500_000_000, 0);
+    assert!(src.is_done());
+
+    let new = dnn_scenario(512, DnnWorkload::PipelinedConv, 1)
+        .run()
+        .expect("valid scenario");
+    assert_bit_identical(&old, &new);
+    assert!(new.is_drained());
+}

@@ -7,27 +7,10 @@
 use crate::config::PacketNocConfig;
 use crate::ni::NetworkInterface;
 use crate::router::{Flit, FlitKind, Port, Router, LOCAL, PORTS};
-use simkit::{Cycle, Fifo, Histogram, ThroughputMeter};
+use simkit::{Cycle, Fifo, Histogram, SimReport, StopReason, ThroughputMeter};
 use std::collections::HashMap;
 
 use traffic::TrafficSource;
-
-/// Result of a baseline simulation run.
-#[derive(Debug, Clone)]
-pub struct PacketSimReport {
-    /// Cycles simulated.
-    pub cycles: Cycle,
-    /// Payload bytes delivered inside the measurement window.
-    pub payload_bytes: u64,
-    /// Aggregate throughput in GiB/s at 1 GHz.
-    pub throughput_gib_s: f64,
-    /// Aggregate throughput in bytes/s.
-    pub throughput_bytes_s: f64,
-    /// Packets delivered (all time).
-    pub packets_delivered: u64,
-    /// Mean packet latency in cycles (injection → tail delivery).
-    pub mean_packet_latency: f64,
-}
 
 /// The packet-based baseline NoC simulator.
 #[derive(Debug)]
@@ -41,7 +24,9 @@ pub struct PacketNocSim {
     now: Cycle,
     meter: ThroughputMeter,
     packets_delivered: u64,
+    transfers_completed: u64,
     latency: Histogram,
+    stop_reason: StopReason,
 }
 
 impl PacketNocSim {
@@ -69,7 +54,9 @@ impl PacketNocSim {
             now: 0,
             meter: ThroughputMeter::new(0),
             packets_delivered: 0,
+            transfers_completed: 0,
             latency: Histogram::new(),
+            stop_reason: StopReason::Budget,
         }
     }
 
@@ -83,6 +70,26 @@ impl PacketNocSim {
     #[must_use]
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Why the last [`run`](Self::run) stopped.
+    #[must_use]
+    pub fn stop_reason(&self) -> StopReason {
+        self.stop_reason
+    }
+
+    /// Packets delivered since construction (all time) — the baseline's
+    /// wire-level counter behind [`SimReport::transfers_completed`].
+    #[must_use]
+    pub fn packets_delivered(&self) -> u64 {
+        self.packets_delivered
+    }
+
+    /// Arms the throughput meter to start measuring at absolute cycle
+    /// `start` — what [`run`](Self::run) does internally; exposed for
+    /// callers driving the engine cycle by cycle via [`step`](Self::step).
+    pub fn begin_measurement(&mut self, start: Cycle) {
+        self.meter = ThroughputMeter::new(start);
     }
 
     fn neighbor(cols: usize, rows: usize, node: usize, p: Port) -> Option<usize> {
@@ -103,22 +110,34 @@ impl PacketNocSim {
         source: &mut S,
         max_cycles: Cycle,
         warmup: Cycle,
-    ) -> PacketSimReport {
-        self.meter = ThroughputMeter::new(self.now + warmup);
+    ) -> SimReport {
+        self.begin_measurement(self.now + warmup);
         let deadline = self.now + max_cycles;
+        self.stop_reason = StopReason::Budget;
         while self.now < deadline {
             self.step(source);
             if source.is_done() && self.is_drained() {
+                self.stop_reason = StopReason::Drained;
                 break;
             }
         }
-        PacketSimReport {
+        self.snapshot_report()
+    }
+
+    /// Snapshot of the metrics at the current cycle — latency sampled per
+    /// *packet* (injection → tail delivery), the baseline's native unit.
+    /// [`run`](Self::run) returns exactly this after its loop exits.
+    #[must_use]
+    pub fn snapshot_report(&self) -> SimReport {
+        SimReport {
             cycles: self.now,
             payload_bytes: self.meter.bytes(),
             throughput_gib_s: self.meter.throughput_gib_s(self.now),
             throughput_bytes_s: self.meter.throughput_bytes_s(self.now),
-            packets_delivered: self.packets_delivered,
-            mean_packet_latency: self.latency.mean(),
+            transfers_completed: self.transfers_completed,
+            mean_latency: self.latency.mean(),
+            p99_latency: self.latency.quantile(0.99),
+            stop_reason: self.stop_reason,
         }
     }
 
@@ -178,6 +197,7 @@ impl PacketNocSim {
                     *left -= 1;
                     if *left == 0 {
                         self.inflight.remove(&key);
+                        self.transfers_completed += 1;
                         completions.push(key);
                     }
                 }
@@ -242,8 +262,10 @@ mod tests {
         let report = sim.run(&mut src, 1_000_000, 0);
         assert_eq!(report.payload_bytes, 16 * 100);
         assert!(sim.is_drained());
+        assert_eq!(report.stop_reason, StopReason::Drained);
+        assert_eq!(report.transfers_completed, 16);
         // 100 B at 4 B/packet = 25 packets per transfer.
-        assert_eq!(report.packets_delivered, 16 * 25);
+        assert_eq!(sim.packets_delivered(), 16 * 25);
     }
 
     #[test]
@@ -304,10 +326,10 @@ mod tests {
             0,
         );
         assert!(
-            far_report.mean_packet_latency > near_report.mean_packet_latency + 4.0,
+            far_report.mean_latency > near_report.mean_latency + 4.0,
             "far {} vs near {}",
-            far_report.mean_packet_latency,
-            near_report.mean_packet_latency
+            far_report.mean_latency,
+            near_report.mean_latency
         );
     }
 
@@ -380,7 +402,7 @@ mod tests {
             });
             let r = sim.run(&mut src, 10_000, 2_000);
             let backlog: usize = sim.nis.iter().map(NetworkInterface::queued).max().unwrap();
-            (r.payload_bytes, r.packets_delivered, backlog)
+            (r.payload_bytes, sim.packets_delivered(), backlog)
         };
         // The cap only defers polling of the open-loop source, so delivered
         // traffic is identical; only the retained backlog differs.

@@ -48,5 +48,6 @@ pub mod ni;
 pub mod router;
 
 pub use config::PacketNocConfig;
-pub use engine::{PacketNocSim, PacketSimReport};
+pub use engine::PacketNocSim;
 pub use router::{Flit, FlitKind};
+pub use simkit::{SimReport, StopReason};

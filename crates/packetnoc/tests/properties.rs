@@ -88,7 +88,7 @@ proptest! {
         let mut sim = PacketNocSim::new(cfg);
         let mut src = Scripted::new(16, &[(0, 5, bytes)]);
         let report = sim.run(&mut src, 10_000_000, 0);
-        prop_assert_eq!(report.packets_delivered, expect_packets);
+        prop_assert_eq!(sim.packets_delivered(), expect_packets);
         prop_assert_eq!(report.payload_bytes, bytes);
     }
 }

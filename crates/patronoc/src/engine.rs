@@ -14,37 +14,8 @@ use crate::topology::{Dir, LOCAL, PORTS};
 use crate::xp::Xp;
 use axi::addr::Region;
 use axi::{AddressMap, ConfigError};
-use simkit::{Cycle, Histogram, ThroughputMeter};
+use simkit::{Cycle, Histogram, SimReport, StopReason, ThroughputMeter};
 use traffic::TrafficSource;
-
-/// Result of a simulation run.
-#[derive(Debug, Clone)]
-pub struct SimReport {
-    /// Cycles simulated.
-    pub cycles: Cycle,
-    /// Payload bytes delivered inside the measurement window (W bytes
-    /// accepted at slaves + R bytes delivered to masters).
-    pub payload_bytes: u64,
-    /// Aggregate throughput in GiB/s at the 1 GHz evaluation clock.
-    pub throughput_gib_s: f64,
-    /// Aggregate throughput in bytes/s.
-    pub throughput_bytes_s: f64,
-    /// Transfers completed across all masters.
-    pub transfers_completed: u64,
-    /// Mean transfer latency in cycles (descriptor start → last response).
-    pub mean_latency: f64,
-    /// 99th-percentile transfer latency (log-2 bucket upper bound).
-    pub p99_latency: u64,
-}
-
-/// Why a run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopReason {
-    /// The cycle budget elapsed (open-loop runs).
-    Budget,
-    /// The traffic source finished and the NoC drained (trace runs).
-    Drained,
-}
 
 /// A fully wired PATRONoC instance with its evaluation endpoints.
 #[derive(Debug, Clone)]
@@ -175,6 +146,13 @@ impl NocSim {
         self.stop_reason
     }
 
+    /// Arms the throughput meter to start measuring at absolute cycle
+    /// `start` — what [`run`](Self::run) does internally; exposed for
+    /// callers driving the engine cycle by cycle via [`step`](Self::step).
+    pub fn begin_measurement(&mut self, start: Cycle) {
+        self.meter = ThroughputMeter::new(start);
+    }
+
     /// Runs the simulation for at most `max_cycles`, measuring throughput
     /// after `warmup` cycles. Stops early when the source reports
     /// [`TrafficSource::is_done`] and the NoC has drained.
@@ -190,7 +168,7 @@ impl NocSim {
         max_cycles: Cycle,
         warmup: Cycle,
     ) -> SimReport {
-        self.meter = ThroughputMeter::new(self.now + warmup);
+        self.begin_measurement(self.now + warmup);
         let deadline = self.now + max_cycles;
         let mut last_progress = (self.now, self.progress_marker());
         self.stop_reason = StopReason::Budget;
@@ -218,7 +196,7 @@ impl NocSim {
                 break;
             }
         }
-        self.report(warmup)
+        self.snapshot_report()
     }
 
     /// One simulation cycle.
@@ -319,7 +297,11 @@ impl NocSim {
         )
     }
 
-    fn report(&self, _warmup: Cycle) -> SimReport {
+    /// Snapshot of the metrics at the current cycle — latency sampled per
+    /// *transfer* (descriptor start → last response). [`run`](Self::run)
+    /// returns exactly this after its loop exits.
+    #[must_use]
+    pub fn snapshot_report(&self) -> SimReport {
         let mut latency = Histogram::new();
         let mut total = 0.0;
         let mut count = 0u64;
@@ -342,6 +324,7 @@ impl NocSim {
                 total / count as f64
             },
             p99_latency: latency.quantile(0.99),
+            stop_reason: self.stop_reason,
         }
     }
 }

@@ -58,7 +58,8 @@ pub mod topology;
 pub mod xp;
 
 pub use config::NocConfig;
-pub use engine::{NocSim, SimReport, StopReason};
+pub use engine::NocSim;
 pub use routing::{Connectivity, RoutingAlgorithm};
+pub use simkit::{SimReport, StopReason};
 pub use topology::{Dir, Topology, LOCAL, PORTS};
 pub use xp::Xp;

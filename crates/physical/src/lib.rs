@@ -42,7 +42,8 @@ pub mod power;
 
 pub use area::AreaModel;
 pub use bisection::{
-    area_efficiency, bisection_bandwidth_gbps, bisection_data_capacity_gib_s, BisectionCounting,
+    area_efficiency, bisection_bandwidth_gbps, bisection_data_capacity_gib_s,
+    fig3_mesh_scaling_efficiency_change, BisectionCounting,
 };
 pub use espnoc::EspNoc;
 pub use power::power_mw;

@@ -1,0 +1,189 @@
+//! A minimal hand-rolled JSON serializer for machine-readable results.
+//!
+//! The `bench` figure binaries emit `BENCH_<name>.json` artifacts (via
+//! `--json`) so CI can archive and diff the performance trajectory, and
+//! the `scenario` crate serializes run configurations with it. The build
+//! environment has no crates.io access, so this is the smallest JSON
+//! *writer* that covers the result schemas in `EXPERIMENTS.md`: objects
+//! keep insertion order, floats print with Rust's shortest round-trip
+//! formatting, and non-finite floats degrade to `null` (JSON has no NaN).
+
+use std::fmt::{self, Write as _};
+use std::io;
+use std::path::Path;
+
+/// A JSON value tree, built by the figure binaries and written once.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (cycle counts, byte totals).
+    U64(u64),
+    /// A float; NaN and infinities serialize as `null`.
+    F64(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep their insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Serializes the tree to a compact JSON string (plus a trailing
+    /// newline when written via [`write_file`](Self::write_file)).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    /// Writes the tree to `path` as a single line of JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`std::fs::write`] error.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        let mut text = self.to_json();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_json(), "null");
+        assert_eq!(Json::Bool(true).to_json(), "true");
+        assert_eq!(Json::U64(64_000).to_json(), "64000");
+        assert_eq!(Json::F64(0.25).to_json(), "0.25");
+        assert_eq!(Json::F64(19.0).to_json(), "19");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape_quotes_and_control_chars() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").to_json(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn nested_structure_renders_in_order() {
+        let v = Json::obj(vec![
+            ("figure", Json::str("fig4")),
+            ("points", Json::Arr(vec![Json::F64(0.001), Json::U64(2)])),
+        ]);
+        assert_eq!(v.to_json(), r#"{"figure":"fig4","points":[0.001,2]}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_via_display() {
+        // Rust's f64 Display prints the shortest string that parses back
+        // to the same bits — exactly what a results artifact needs.
+        for v in [0.0001, 0.3, 1.0 / 3.0, 29.802322387695312] {
+            let text = Json::F64(v).to_json();
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn write_file_appends_newline() {
+        let path = std::env::temp_dir().join("bench_json_test.json");
+        Json::obj(vec![("k", Json::U64(1))])
+            .write_file(&path)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"k\":1}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

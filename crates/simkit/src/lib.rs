@@ -19,6 +19,10 @@
 //! * [`pool`] — a scoped worker pool ([`pool::scope_map`]) for fanning
 //!   independent simulation points across threads with index-ordered,
 //!   serial-identical results.
+//! * [`report`] — the unified [`SimReport`] / [`StopReason`] every NoC
+//!   engine returns, so comparison harnesses handle one result shape.
+//! * [`json`] — a minimal hand-rolled JSON writer for machine-readable
+//!   results and scenario serialization (no crates.io access, no serde).
 //!
 //! ## Two-phase discipline
 //!
@@ -42,12 +46,16 @@
 //!
 pub mod arbiter;
 pub mod fifo;
+pub mod json;
 pub mod pool;
+pub mod report;
 pub mod rng;
 pub mod stats;
 
 pub use arbiter::RoundRobinArbiter;
 pub use fifo::{Fifo, PushError, RegisterSlice};
+pub use json::Json;
+pub use report::{SimReport, StopReason};
 pub use rng::Rng;
 pub use stats::{Histogram, RunningStats, ThroughputMeter};
 

@@ -1,0 +1,89 @@
+//! The unified simulation report shared by every NoC engine.
+//!
+//! Both the AXI-native engine (`patronoc::NocSim`) and the packet-switched
+//! baseline (`packetnoc::PacketNocSim`) summarize a run with the same
+//! [`SimReport`], so the comparison layers (the `scenario` crate and the
+//! `bench` harness) never juggle near-duplicate report structs. Engines
+//! differ only in what a "transfer" and a latency sample mean — the field
+//! docs spell out both readings.
+
+use crate::Cycle;
+
+/// Why a simulation run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The cycle budget elapsed while the traffic source still had work in
+    /// flight. For finite-trace runs this means the trace **did not
+    /// finish** — the scenario layer surfaces it instead of panicking.
+    Budget,
+    /// The traffic source finished and the NoC drained completely.
+    Drained,
+    /// The warm-up plus measurement window completed (open-loop runs,
+    /// where the source never finishes by design). Set by the scenario
+    /// layer; engines themselves report [`StopReason::Budget`] when their
+    /// cycle budget elapses.
+    WindowComplete,
+}
+
+/// Result of a simulation run, identical in shape for every engine.
+///
+/// `PartialEq` compares floats exactly (bit-for-bit modulo `-0.0`), which
+/// is the contract the `--jobs` determinism tests assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Payload bytes delivered inside the measurement window (W bytes
+    /// accepted at slaves + R bytes delivered to masters).
+    pub payload_bytes: u64,
+    /// Aggregate throughput in GiB/s at the 1 GHz evaluation clock.
+    pub throughput_gib_s: f64,
+    /// Aggregate throughput in bytes/s.
+    pub throughput_bytes_s: f64,
+    /// Transfers completed across all masters (all time, warm-up
+    /// included). Both engines count whole traffic-level transfers,
+    /// however many bursts or packets each one took on the wire.
+    pub transfers_completed: u64,
+    /// Mean latency in cycles. The AXI engine samples whole transfers
+    /// (descriptor start → last response); the packet baseline samples
+    /// packets (injection → tail delivery), its native unit.
+    pub mean_latency: f64,
+    /// 99th-percentile latency (log-2 bucket upper bound), same sampling
+    /// unit as [`mean_latency`](Self::mean_latency).
+    pub p99_latency: u64,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+impl SimReport {
+    /// Whether the run drained every in-flight transfer (trace runs: the
+    /// whole trace completed within the budget).
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.stop_reason == StopReason::Drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drained_is_the_only_drained_reason() {
+        let mut r = SimReport {
+            cycles: 1,
+            payload_bytes: 2,
+            throughput_gib_s: 0.5,
+            throughput_bytes_s: 5.0e8,
+            transfers_completed: 3,
+            mean_latency: 4.0,
+            p99_latency: 8,
+            stop_reason: StopReason::Drained,
+        };
+        assert!(r.is_drained());
+        for reason in [StopReason::Budget, StopReason::WindowComplete] {
+            r.stop_reason = reason;
+            assert!(!r.is_drained());
+        }
+    }
+}

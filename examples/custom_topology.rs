@@ -2,18 +2,25 @@
 //! modularity §II claims ("any regular topology, such as a torus,
 //! butterfly, or ring, can also be modularly built using our building
 //! blocks") — and verify the routing is deadlock-free before simulating.
+//! The `Scenario` builder derives master/slave counts from each topology,
+//! so the loop body never mentions node counts.
 //!
 //! ```sh
 //! cargo run --release --example custom_topology
 //! ```
+//!
+//! `EXAMPLE_QUICK=1` shrinks the window for smoke runs (CI).
 
-use axi::AxiParams;
 use patronoc::routing::validate_deadlock_free;
-use patronoc::{NocConfig, NocSim, RoutingAlgorithm, Topology};
-use traffic::{UniformConfig, UniformRandom};
+use patronoc::{RoutingAlgorithm, Topology};
+use scenario::{Scenario, TrafficSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let axi = AxiParams::new(32, 64, 4, 8)?;
+    let window: u64 = if std::env::var_os("EXAMPLE_QUICK").is_some() {
+        8_000
+    } else {
+        50_000
+    };
     for topo in [
         Topology::mesh4x4(),
         Topology::Torus { cols: 4, rows: 4 },
@@ -25,19 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         validate_deadlock_free(topo, RoutingAlgorithm::YxDimensionOrder)
             .map_err(|cycle| format!("{topo}: dependency cycle {cycle:?}"))?;
 
-        let n = topo.num_nodes();
-        let mut sim = NocSim::new(NocConfig::new(axi, topo))?;
-        let mut src = UniformRandom::new_copies(UniformConfig {
-            masters: n,
-            slaves: (0..n).collect(),
-            load: 0.8,
-            bytes_per_cycle: axi.bytes_per_beat() as f64,
-            max_transfer: 2048,
-            read_fraction: 0.5,
-            region_size: 1 << 24,
-            seed: 11,
-        });
-        let report = sim.run(&mut src, 60_000, 10_000);
+        let report = Scenario::patronoc()
+            .topology(topo)
+            .data_width(64)
+            .traffic(TrafficSpec::uniform_copies(0.8, 2048))
+            .warmup(10_000)
+            .window(window)
+            .seed(11)
+            .run()?;
         println!(
             "{topo:<14} deadlock-free ✓   {:7.2} GiB/s, mean latency {:5.1} cycles",
             report.throughput_gib_s, report.mean_latency

@@ -1,43 +1,43 @@
 //! Design-space exploration: sweep the data width (Table I's DW parameter)
 //! and report area (kGE), power (mW), bisection bandwidth and *measured*
 //! saturation throughput for each point — the kind of exploration §VI says
-//! the framework is meant to enable.
+//! the framework is meant to enable. Each point is one `Scenario` value;
+//! the physical models read the same AXI parameters the simulator runs.
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
+//!
+//! `EXAMPLE_QUICK=1` shrinks the window for smoke runs (CI).
 
 use axi::AxiParams;
-use patronoc::{NocConfig, NocSim, Topology};
 use physical::{bisection::bisection_bandwidth_gib_s, power_mw, AreaModel, BisectionCounting};
-use traffic::{UniformConfig, UniformRandom};
+use scenario::{Scenario, TrafficSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window: u64 = if std::env::var_os("EXAMPLE_QUICK").is_some() {
+        8_000
+    } else {
+        60_000
+    };
     let model = AreaModel::calibrated();
-    let topo = Topology::mesh4x4();
     println!(
         "{:>6} {:>12} {:>10} {:>18} {:>18}",
         "DW", "area (kGE)", "power(mW)", "bisection (GiB/s)", "measured (GiB/s)"
     );
     for dw in [32u32, 64, 128, 256, 512] {
-        let axi = AxiParams::new(32, dw, 4, 8)?;
-        let area = model.mesh_area_kge(topo, axi);
-        let power = power_mw(topo, axi);
-        let bisection = bisection_bandwidth_gib_s(topo, dw, BisectionCounting::BothWays);
-
-        // Measure saturation under uniform random copies, bursts ≤ 4 KiB.
-        let mut sim = NocSim::new(NocConfig::new(axi, topo))?;
-        let mut src = UniformRandom::new_copies(UniformConfig {
-            masters: 16,
-            slaves: (0..16).collect(),
-            load: 1.0,
-            bytes_per_cycle: f64::from(dw) / 8.0,
-            max_transfer: 4096,
-            read_fraction: 0.5,
-            region_size: 1 << 24,
-            seed: 7,
-        });
-        let report = sim.run(&mut src, 80_000, 20_000);
+        // Saturation under uniform random copies, bursts ≤ 4 KiB.
+        let point = Scenario::patronoc()
+            .data_width(dw)
+            .traffic(TrafficSpec::uniform_copies(1.0, 4096))
+            .warmup(20_000)
+            .window(window)
+            .seed(7);
+        let axi = AxiParams::new(point.addr_width, dw, point.id_width, point.max_outstanding)?;
+        let area = model.mesh_area_kge(point.topology, axi);
+        let power = power_mw(point.topology, axi);
+        let bisection = bisection_bandwidth_gib_s(point.topology, dw, BisectionCounting::BothWays);
+        let report = point.run()?;
         println!(
             "{:>6} {:>12.0} {:>10.1} {:>18.1} {:>18.2}",
             dw, area, power, bisection, report.throughput_gib_s

@@ -1,40 +1,51 @@
 //! Deploy a depth-first (pipelined) CNN across the 16 cores of a wide
 //! PATRONoC mesh — the workload the paper's abstract headlines with
 //! "up to 310 GiB/s aggregated throughput" — and compare it against the
-//! layer-parallel schedule of the same network.
+//! layer-parallel schedule of the same network. Each deployment is one
+//! budgeted `Scenario`; a trace that misses the budget is reported via
+//! its `StopReason`, never a panic.
 //!
 //! ```sh
 //! cargo run --release --example dnn_pipeline
 //! ```
+//!
+//! `EXAMPLE_QUICK=1` runs single-image traces for smoke runs (CI).
 
-use patronoc::{NocConfig, NocSim};
+use scenario::{Scenario, TrafficSpec};
 use traffic::dnn::DnnConfig;
-use traffic::{DnnTraffic, DnnWorkload};
+use traffic::DnnWorkload;
 
-fn run(workload: DnnWorkload) -> Result<(), Box<dyn std::error::Error>> {
-    // The paper's wide NoC: AXI_32_512_4, MOT = 8 on the 4×4 mesh.
-    let mut sim = NocSim::new(NocConfig::wide_4x4())?;
+fn run(workload: DnnWorkload, steps: usize) -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's wide NoC (AXI_32_512_4, MOT = 8 on the 4×4 mesh) running
+    // the trace to drain under a generous cycle budget.
+    let deployment = Scenario::patronoc()
+        .data_width(512)
+        .traffic(TrafficSpec::dnn(workload, steps))
+        .budget(100_000_000)
+        .seed(1);
 
-    // Generate the transfer trace from a ResNet-34 layer graph: the
-    // pipelined schedule partitions the network across cores 0..15 and
-    // streams image tiles core-to-core; the parallel schedule tiles every
-    // layer across all cores through the shared L2.
-    let cfg = DnnConfig {
-        steps: 2, // images
-        ..DnnConfig::for_workload(workload)
-    };
-    let mut trace = DnnTraffic::new(&cfg);
+    // Trace-level statistics come from the concrete trace the scenario
+    // names: the pipelined schedule partitions the network across cores
+    // 0..15 and streams image tiles core-to-core; the parallel schedule
+    // tiles every layer across all cores through the shared L2.
+    let trace = deployment.build_dnn_trace().expect("a DNN scenario");
+    let l2_node = DnnConfig::for_workload(workload).l2_node;
     println!(
         "{:>9}: {} transfers, {:.1} MiB total, {:.0} % core-to-core",
         workload.name(),
         trace.len(),
         trace.total_bytes() as f64 / (1 << 20) as f64,
-        100.0 * trace.core_to_core_fraction(cfg.l2_node),
+        100.0 * trace.core_to_core_fraction(l2_node),
     );
 
-    let report = sim.run(&mut trace, 100_000_000, 0);
+    let report = deployment.run()?;
+    let note = if report.is_drained() {
+        ""
+    } else {
+        "  [INCOMPLETE: budget exceeded]"
+    };
     println!(
-        "{:>9}: {:.1} GiB/s aggregate over {} cycles ({} transfers)",
+        "{:>9}: {:.1} GiB/s aggregate over {} cycles ({} transfers){note}",
         workload.name(),
         report.throughput_gib_s,
         report.cycles,
@@ -44,8 +55,13 @@ fn run(workload: DnnWorkload) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let steps = if std::env::var_os("EXAMPLE_QUICK").is_some() {
+        1
+    } else {
+        2
+    };
     for workload in [DnnWorkload::PipelinedConv, DnnWorkload::ParallelConv] {
-        run(workload)?;
+        run(workload, steps)?;
     }
     println!();
     println!("The pipelined schedule keeps the traffic on short core-to-core paths");

@@ -1,42 +1,38 @@
-//! Quickstart: build the paper's slim 4×4 PATRONoC mesh, drive it with
-//! uniform random DMA traffic, and print throughput and latency.
+//! Quickstart: describe the paper's slim 4×4 PATRONoC under uniform
+//! random DMA traffic as one `Scenario` value, run it, and print
+//! throughput and latency.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! `EXAMPLE_QUICK=1` shrinks the window for smoke runs (CI).
 
-use axi::AxiParams;
-use patronoc::{NocConfig, NocSim, Topology};
-use traffic::{UniformConfig, UniformRandom};
+use scenario::{Scenario, TrafficSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Pick the AXI interface parameters (Table I): AW=32, DW=32, IW=4,
-    //    MOT=8 — the paper's "slim NoC".
-    let axi = AxiParams::new(32, 32, 4, 8)?;
+    let window: u64 = if std::env::var_os("EXAMPLE_QUICK").is_some() {
+        8_000
+    } else {
+        80_000
+    };
 
-    // 2. Instantiate the NoC: a 4×4 mesh with a DMA master and a memory
-    //    slave at every crosspoint, YX routing, register slices everywhere.
-    let cfg = NocConfig::new(axi, Topology::mesh4x4());
-    let mut sim = NocSim::new(cfg)?;
+    // One value names the whole run: the slim 4×4 mesh (Table I's
+    // AXI_32_32_4, MOT = 8 — the builder's defaults), Poisson uniform
+    // random memory-to-memory copies with DMA bursts up to 1 KiB at 60 %
+    // injected load, measured for `window` cycles after a 20k-cycle
+    // warm-up. Masters and slaves derive from the topology.
+    let report = Scenario::patronoc()
+        .traffic(TrafficSpec::uniform_copies(0.6, 1024))
+        .warmup(20_000)
+        .window(window)
+        .seed(42)
+        .run()?;
 
-    // 3. Describe the workload: Poisson uniform random memory-to-memory
-    //    copies with DMA burst lengths up to 1 KiB at 60 % injected load.
-    let mut workload = UniformRandom::new_copies(UniformConfig {
-        masters: 16,
-        slaves: (0..16).collect(),
-        load: 0.6,
-        bytes_per_cycle: axi.bytes_per_beat() as f64,
-        max_transfer: 1024,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed: 42,
-    });
-
-    // 4. Simulate 100k cycles (= 100 µs at the 1 GHz evaluation clock),
-    //    measuring after a 20k-cycle warm-up.
-    let report = sim.run(&mut workload, 100_000, 20_000);
-
-    println!("simulated {} cycles", report.cycles);
+    println!(
+        "simulated {} cycles ({:?})",
+        report.cycles, report.stop_reason
+    );
     println!("transfers completed: {}", report.transfers_completed);
     println!("aggregate throughput: {:.2} GiB/s", report.throughput_gib_s);
     println!(

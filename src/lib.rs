@@ -3,5 +3,6 @@ pub use axi;
 pub use packetnoc;
 pub use patronoc;
 pub use physical;
+pub use scenario;
 pub use simkit;
 pub use traffic;

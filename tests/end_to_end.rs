@@ -1,14 +1,13 @@
 //! Cross-crate integration tests: full-system runs spanning the traffic
-//! generators, both NoC simulators and the physical model.
+//! generators, both NoC simulators (behind the unified `Engine` trait and
+//! the `Scenario` builder) and the physical model.
 
 use axi::AxiParams;
 use packetnoc::{PacketNocConfig, PacketNocSim};
 use patronoc::{NocConfig, NocSim, StopReason, Topology};
+use scenario::{Engine, PacketProfile, Scenario, TrafficSpec};
 use simkit::Cycle;
-use traffic::{
-    dnn::DnnConfig, DnnTraffic, DnnWorkload, TrafficSource, Transfer, TransferKind, UniformConfig,
-    UniformRandom,
-};
+use traffic::{DnnWorkload, TrafficSource, Transfer, TransferKind};
 
 /// A finite workload: every master issues `per_master` fixed-size transfers
 /// round-robin over destinations, then stops.
@@ -98,20 +97,29 @@ fn payload_conservation_on_packet_baseline() {
     let mut src = Finite::new(16, 10, 123, |_| TransferKind::Write);
     let report = sim.run(&mut src, 5_000_000, 0);
     assert_eq!(report.payload_bytes, 160 * 123);
+    assert_eq!(report.stop_reason, StopReason::Drained);
     assert!(sim.is_drained());
 }
 
 #[test]
 fn both_simulators_agree_on_delivered_payload() {
-    // Identical stimulus → identical *totals* (the NoCs differ in timing,
-    // never in how many bytes arrive).
-    let mut a = NocSim::new(NocConfig::slim_4x4()).expect("valid config");
-    let mut src = Finite::new(16, 8, 450, |_| TransferKind::Write);
-    let ra = a.run(&mut src, 5_000_000, 0);
-    let mut b = PacketNocSim::new(PacketNocConfig::noxim_compact());
-    let mut src = Finite::new(16, 8, 450, |_| TransferKind::Write);
-    let rb = b.run(&mut src, 5_000_000, 0);
-    assert_eq!(ra.payload_bytes, rb.payload_bytes);
+    // Identical stimulus through the unified Engine trait → identical
+    // *totals* (the NoCs differ in timing, never in how many bytes
+    // arrive).
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(NocSim::new(NocConfig::slim_4x4()).expect("valid config")),
+        Box::new(PacketNocSim::new(PacketNocConfig::noxim_compact())),
+    ];
+    let totals: Vec<u64> = engines
+        .into_iter()
+        .map(|mut engine| {
+            let mut src = Finite::new(16, 8, 450, |_| TransferKind::Write);
+            let report = engine.run(&mut src, 5_000_000, 0);
+            assert!(report.is_drained());
+            report.payload_bytes
+        })
+        .collect();
+    assert_eq!(totals[0], totals[1]);
 }
 
 #[test]
@@ -119,20 +127,20 @@ fn burst_support_is_the_advantage() {
     // The paper's core claim end-to-end: same offered load, large DMA
     // bursts → PATRONoC wins by a wide margin; the packet NoC is
     // insensitive to burst length.
-    let cfg = UniformConfig {
-        masters: 16,
-        slaves: (0..16).collect(),
-        load: 1.0,
-        bytes_per_cycle: 4.0,
-        max_transfer: 10_000,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed: 5,
-    };
-    let mut patronoc = NocSim::new(NocConfig::slim_4x4()).expect("valid config");
-    let pa = patronoc.run(&mut UniformRandom::new_copies(cfg.clone()), 40_000, 8_000);
-    let mut baseline = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
-    let pb = baseline.run(&mut UniformRandom::new(cfg), 40_000, 8_000);
+    let pa = Scenario::patronoc()
+        .traffic(TrafficSpec::uniform_copies(1.0, 10_000))
+        .warmup(8_000)
+        .window(32_000)
+        .seed(5)
+        .run()
+        .expect("valid scenario");
+    let pb = Scenario::packet(PacketProfile::HighPerformance)
+        .traffic(TrafficSpec::uniform(1.0, 10_000))
+        .warmup(8_000)
+        .window(32_000)
+        .seed(5)
+        .run()
+        .expect("valid scenario");
     assert!(
         pa.throughput_gib_s > 3.0 * pb.throughput_gib_s,
         "patronoc {} vs baseline {}",
@@ -143,19 +151,14 @@ fn burst_support_is_the_advantage() {
 
 #[test]
 fn runs_are_deterministic() {
+    let scenario = Scenario::patronoc()
+        .data_width(512)
+        .traffic(TrafficSpec::uniform_copies(0.7, 5000))
+        .warmup(5_000)
+        .window(25_000)
+        .seed(1234);
     let run = || {
-        let mut sim = NocSim::new(NocConfig::wide_4x4()).expect("valid config");
-        let mut src = UniformRandom::new_copies(UniformConfig {
-            masters: 16,
-            slaves: (0..16).collect(),
-            load: 0.7,
-            bytes_per_cycle: 64.0,
-            max_transfer: 5000,
-            read_fraction: 0.5,
-            region_size: 1 << 24,
-            seed: 1234,
-        });
-        let r = sim.run(&mut src, 30_000, 5_000);
+        let r = scenario.run().expect("valid scenario");
         (r.payload_bytes, r.transfers_completed, r.cycles)
     };
     assert_eq!(run(), run());
@@ -163,17 +166,18 @@ fn runs_are_deterministic() {
 
 #[test]
 fn dnn_traces_complete_on_both_noc_widths() {
-    for (axi, budget) in [
-        (AxiParams::slim(), 60_000_000u64),
-        (AxiParams::wide(), 6_000_000),
-    ] {
-        let cfg = NocConfig::new(axi, Topology::mesh4x4());
-        let mut sim = NocSim::new(cfg).expect("valid config");
-        let dnn = DnnConfig::for_workload(DnnWorkload::PipelinedConv);
-        let mut trace = DnnTraffic::new(&dnn);
-        let expected = trace.total_bytes();
-        let report = sim.run(&mut trace, budget, 0);
-        assert_eq!(sim.stop_reason(), StopReason::Drained, "{}", axi.label());
+    for (dw, budget) in [(32u32, 60_000_000u64), (512, 6_000_000)] {
+        let scenario = Scenario::patronoc()
+            .data_width(dw)
+            .traffic(TrafficSpec::dnn(DnnWorkload::PipelinedConv, 1))
+            .budget(budget)
+            .seed(1);
+        let expected = scenario
+            .build_dnn_trace()
+            .expect("a DNN scenario")
+            .total_bytes();
+        let report = scenario.run().expect("valid scenario");
+        assert_eq!(report.stop_reason, StopReason::Drained, "DW={dw}");
         assert_eq!(report.payload_bytes, expected);
     }
 }
@@ -182,9 +186,14 @@ fn dnn_traces_complete_on_both_noc_widths() {
 fn fig8_ordering_holds_end_to_end() {
     let mut results = Vec::new();
     for wl in DnnWorkload::all() {
-        let mut sim = NocSim::new(NocConfig::wide_4x4()).expect("valid config");
-        let mut trace = DnnTraffic::new(&DnnConfig::for_workload(wl));
-        let report = sim.run(&mut trace, 100_000_000, 0);
+        let report = Scenario::patronoc()
+            .data_width(512)
+            .traffic(TrafficSpec::dnn(wl, 1))
+            .budget(100_000_000)
+            .seed(1)
+            .run()
+            .expect("valid scenario");
+        assert!(report.is_drained(), "{} missed its budget", wl.name());
         results.push((wl, report.throughput_gib_s));
     }
     let train = results[0].1;

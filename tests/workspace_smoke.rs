@@ -2,7 +2,7 @@
 //! root facade must re-export every crate, and the paper's slim 4×4
 //! configuration must construct a runnable simulator.
 
-use patronoc_repro::{axi, packetnoc, patronoc, physical, simkit, traffic};
+use patronoc_repro::{axi, packetnoc, patronoc, physical, scenario, simkit, traffic};
 
 #[test]
 fn facade_reexports_resolve() {
@@ -16,22 +16,17 @@ fn facade_reexports_resolve() {
     let _ = packetnoc::PacketNocConfig::noxim_compact();
     let _ = physical::AreaModel::calibrated();
     let _ = patronoc::Topology::mesh2x2();
+    let _ = scenario::Scenario::patronoc();
 }
 
 #[test]
 fn slim_4x4_constructs_and_runs() {
-    let cfg = patronoc::NocConfig::slim_4x4();
-    let mut sim = patronoc::NocSim::new(cfg).expect("slim_4x4 must be a valid config");
-    let mut workload = traffic::UniformRandom::new(traffic::UniformConfig {
-        masters: 16,
-        slaves: (0..16).collect(),
-        load: 0.5,
-        bytes_per_cycle: 4.0,
-        max_transfer: 256,
-        read_fraction: 0.5,
-        region_size: 1 << 24,
-        seed: 7,
-    });
-    let report = sim.run(&mut workload, 2_000, 500);
+    let report = scenario::Scenario::patronoc()
+        .traffic(scenario::TrafficSpec::uniform(0.5, 256))
+        .warmup(500)
+        .window(1_500)
+        .seed(7)
+        .run()
+        .expect("slim_4x4 must be a valid scenario");
     assert!(report.payload_bytes > 0, "no traffic delivered");
 }
