@@ -94,10 +94,15 @@ fn main() {
             (0..curves.len()).map(move |ci| curves[ci].scenario(li, loads[li], window, warmup))
         })
         .collect();
-    let results: Vec<f64> = opts.run_points(&scenarios, |sc| {
-        sc.run().expect("valid fig4 scenario").throughput_gib_s
+    let results: Vec<(f64, f64)> = opts.run_points(&scenarios, |sc| {
+        let report = sc.run().expect("valid fig4 scenario");
+        (report.throughput_gib_s, report.cycles_per_sec)
     });
-    let cell = |li: usize, ci: usize| results[li * curves.len() + ci];
+    let cell = |li: usize, ci: usize| results[li * curves.len() + ci].0;
+    // Simulator speed at each point (wall clock — telemetry, not physics):
+    // recorded in the JSON artifact so CI tracks the engine's own
+    // performance trajectory alongside the simulated results.
+    let cell_cps = |li: usize, ci: usize| results[li * curves.len() + ci].1;
 
     println!("Fig. 4 — uniform random traffic, 4x4 mesh, throughput (GiB/s) vs injected load");
     print!("{:>10}", "load");
@@ -159,6 +164,7 @@ fn main() {
                                             Json::obj(vec![
                                                 ("load", Json::F64(load)),
                                                 ("gib_s", Json::F64(cell(li, ci))),
+                                                ("cycles_per_sec", Json::F64(cell_cps(li, ci))),
                                             ])
                                         })
                                         .collect(),

@@ -1,0 +1,146 @@
+//! Simulator-performance micro-sweep: activity-driven stepping vs the
+//! `full_sweep` reference, on both engines, at a near-idle and a
+//! saturated operating point.
+//!
+//! This measures the *simulator*, not the simulated NoC: wall-clock
+//! cycles/sec (`SimReport::cycles_per_sec`) plus the deterministic
+//! scheduler work counter (links/buffers refreshed + components stepped).
+//! Both modes must produce bit-identical simulation reports — the binary
+//! exits non-zero if they ever diverge. Emits `BENCH_perf.json` via
+//! `--json` so CI tracks the engine-speed trajectory alongside the
+//! simulated results.
+//!
+//! Points run *serially* regardless of `--jobs`: parallel workers would
+//! contend for cores and corrupt the wall-clock comparison.
+
+use bench::defaults::{WARMUP, WINDOW};
+use bench::json::Json;
+use bench::sweep::SweepOptions;
+use bench::{noxim_uniform_scenario, patronoc_uniform_scenario};
+use scenario::PacketProfile;
+use simkit::SimReport;
+
+/// Fixed seed of the perf points (the workload is not the variable here).
+const PERF_SEED: u64 = 0xBE2F;
+
+/// Everything one (engine, load, mode) run yields.
+struct ModeResult {
+    report: SimReport,
+    work_items: u64,
+}
+
+/// A point runner: `(load, window, warmup, full_sweep) → result`.
+type Runner = fn(f64, u64, u64, bool) -> ModeResult;
+
+fn run_patronoc(load: f64, window: u64, warmup: u64, full_sweep: bool) -> ModeResult {
+    let sc = patronoc_uniform_scenario(32, load, 1_000, window, warmup, PERF_SEED);
+    let mut cfg = sc.noc_config().expect("valid perf scenario");
+    cfg.full_sweep = full_sweep;
+    let mut sim = patronoc::NocSim::new(cfg).expect("valid configuration");
+    let mut src = sc.build_source();
+    let report = sim.run(&mut *src, warmup + window, warmup);
+    ModeResult {
+        report,
+        work_items: sim.work_items(),
+    }
+}
+
+fn run_packet(load: f64, window: u64, warmup: u64, full_sweep: bool) -> ModeResult {
+    let sc = noxim_uniform_scenario(PacketProfile::Compact, load, 100, window, warmup, PERF_SEED);
+    let mut cfg = PacketProfile::Compact.base_config();
+    cfg.full_sweep = full_sweep;
+    let mut sim = packetnoc::PacketNocSim::new(cfg);
+    let mut src = sc.build_source();
+    let report = sim.run(&mut *src, warmup + window, warmup);
+    ModeResult {
+        report,
+        work_items: sim.work_items(),
+    }
+}
+
+fn main() {
+    let opts = SweepOptions::parse("PERF_QUICK");
+    let (window, warmup) = if opts.quick {
+        (60_000, 10_000)
+    } else {
+        (WINDOW, WARMUP)
+    };
+    // The lowest and highest injected loads of quick-mode fig4.
+    let loads = [0.001, 1.0];
+    let engines: [(&str, Runner); 2] = [("patronoc", run_patronoc), ("packet-compact", run_packet)];
+
+    println!("simulator performance: activity-driven vs full-sweep stepping");
+    println!("window {window} cycles, warmup {warmup} cycles");
+    println!(
+        "{:>16} {:>8} {:>14} {:>14} {:>9} {:>10}",
+        "engine", "load", "active cyc/s", "full cyc/s", "speedup", "work ratio"
+    );
+    // Best-of-N wall clock per mode: each repetition is a fresh engine on
+    // the identical workload, so the reports must agree bit for bit and
+    // the fastest run is the least-interfered measurement.
+    let best_of = |runner: Runner, load: f64, full_sweep: bool| {
+        let mut best = runner(load, window, warmup, full_sweep);
+        for _ in 1..3 {
+            let next = runner(load, window, warmup, full_sweep);
+            assert_eq!(
+                next.report, best.report,
+                "repeated identical runs must agree"
+            );
+            if next.report.cycles_per_sec > best.report.cycles_per_sec {
+                best = next;
+            }
+        }
+        best
+    };
+    let mut points = Vec::new();
+    let mut all_identical = true;
+    for (name, runner) in engines {
+        for &load in &loads {
+            let full = best_of(runner, load, true);
+            let active = best_of(runner, load, false);
+            let identical = active.report == full.report;
+            all_identical &= identical;
+            let speedup = active.report.cycles_per_sec / full.report.cycles_per_sec;
+            let work_ratio = full.work_items as f64 / active.work_items as f64;
+            println!(
+                "{:>16} {:>8.3} {:>14.0} {:>14.0} {:>8.1}x {:>9.1}x{}",
+                name,
+                load,
+                active.report.cycles_per_sec,
+                full.report.cycles_per_sec,
+                speedup,
+                work_ratio,
+                if identical { "" } else { "  RESULTS DIVERGED" }
+            );
+            let mode_json = |m: &ModeResult| {
+                Json::obj(vec![
+                    ("gib_s", Json::F64(m.report.throughput_gib_s)),
+                    ("cycles_per_sec", Json::F64(m.report.cycles_per_sec)),
+                    ("work_items", Json::U64(m.work_items)),
+                ])
+            };
+            points.push(Json::obj(vec![
+                ("engine", Json::str(name)),
+                ("load", Json::F64(load)),
+                ("active", mode_json(&active)),
+                ("full_sweep", mode_json(&full)),
+                ("speedup", Json::F64(speedup)),
+                ("work_ratio", Json::F64(work_ratio)),
+                ("bit_identical", Json::Bool(identical)),
+            ]));
+        }
+    }
+
+    opts.emit_json(&Json::obj(vec![
+        ("figure", Json::str("perf")),
+        ("quick", Json::Bool(opts.quick)),
+        ("window", Json::U64(window)),
+        ("warmup", Json::U64(warmup)),
+        ("points", Json::Arr(points)),
+    ]));
+
+    if !all_identical {
+        eprintln!("error: active-set stepping diverged from the full sweep");
+        std::process::exit(1);
+    }
+}

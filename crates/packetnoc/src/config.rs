@@ -36,6 +36,12 @@ pub struct PacketNocConfig {
     /// either way (polling is merely deferred), so results are identical
     /// for any cap ≥ 1; the cap bounds simulator memory on saturated runs.
     pub ni_queue_cap: usize,
+    /// Debug mode: step every buffer, router and NI every cycle (the
+    /// pre-activity-driven behaviour) instead of only the live subset.
+    /// Results are bit-identical either way — kept as the reference the
+    /// active path is cross-checked against in
+    /// `crates/bench/tests/equivalence.rs`.
+    pub full_sweep: bool,
 }
 
 impl PacketNocConfig {
@@ -52,6 +58,7 @@ impl PacketNocConfig {
             payload_per_packet: 4,
             router_extra_latency: 2,
             ni_queue_cap: 64,
+            full_sweep: false,
         }
     }
 

@@ -2,11 +2,16 @@
 //!
 //! Drives a `cols × rows` mesh of wormhole routers and per-node NIs from a
 //! [`TrafficSource`], measuring delivered payload exactly like the PATRONoC
-//! engine so Fig. 4's curves are an apples-to-apples comparison.
+//! engine so Fig. 4's curves are an apples-to-apples comparison. Like the
+//! PATRONoC engine it steps activity-driven by default — only live flit
+//! buffers, routers next to them, and busy NIs are touched each cycle —
+//! with [`PacketNocConfig::full_sweep`] keeping the step-everything
+//! reference path; the two are bit-identical.
 
 use crate::config::PacketNocConfig;
 use crate::ni::NetworkInterface;
 use crate::router::{Flit, FlitKind, Port, Router, LOCAL, PORTS};
+use simkit::sched::ActiveSet;
 use simkit::{Cycle, Fifo, Histogram, SimReport, StopReason, ThroughputMeter};
 use std::collections::HashMap;
 
@@ -27,6 +32,29 @@ pub struct PacketNocSim {
     transfers_completed: u64,
     latency: Histogram,
     stop_reason: StopReason,
+    /// Flit buffers to refresh this cycle (possibly non-quiescent).
+    hot_bufs: ActiveSet,
+    /// NIs to step this cycle (mid-packet, queued, or just fed).
+    hot_nis: ActiveSet,
+    /// Routers to step this cycle (an adjacent buffer is live).
+    hot_routers: ActiveSet,
+    scratch_bufs: Vec<usize>,
+    scratch_nis: Vec<usize>,
+    scratch_routers: Vec<usize>,
+    /// Cumulative buffer refreshes + NI/router steps, counted identically
+    /// in both stepping modes (the deterministic work measure).
+    work_items: u64,
+    /// Regime flag: while the tracked-work fraction crosses the shared
+    /// [`simkit::sched::SATURATE_ENTER`] threshold, cycles run as plain
+    /// full sweeps with no set maintenance (the bookkeeping cannot pay for
+    /// itself); precise tracking resumes — after a one-off set rebuild —
+    /// under [`simkit::sched::SATURATE_EXIT`]. Depends only on simulation
+    /// state, so the regime sequence is deterministic.
+    saturated: bool,
+    /// Cycles stepped inside timed [`run`](Self::run) loops.
+    wall_cycles: Cycle,
+    /// Wall-clock seconds spent inside timed [`run`](Self::run) loops.
+    wall_secs: f64,
 }
 
 impl PacketNocSim {
@@ -41,10 +69,21 @@ impl PacketNocSim {
         cfg.assert_valid();
         let n = cfg.num_nodes();
         let routers = (0..n).map(|i| Router::new(i, cfg.cols, cfg.vcs)).collect();
-        let bufs = (0..n * PORTS * cfg.vcs)
-            .map(|_| Fifo::new(cfg.buf_flits))
-            .collect();
+        let num_bufs = n * PORTS * cfg.vcs;
+        let bufs = (0..num_bufs).map(|_| Fifo::new(cfg.buf_flits)).collect();
         let nis = (0..n).map(|i| NetworkInterface::new(i, &cfg)).collect();
+        // Cycle 0 is a full sweep: fresh buffers need their first
+        // begin_cycle before anything is pushable (see `Fifo::is_idle`).
+        let mut hot_bufs = ActiveSet::new(num_bufs);
+        let mut hot_nis = ActiveSet::new(n);
+        let mut hot_routers = ActiveSet::new(n);
+        for b in 0..num_bufs {
+            hot_bufs.insert(b);
+        }
+        for i in 0..n {
+            hot_nis.insert(i);
+            hot_routers.insert(i);
+        }
         Self {
             cfg,
             routers,
@@ -57,6 +96,16 @@ impl PacketNocSim {
             transfers_completed: 0,
             latency: Histogram::new(),
             stop_reason: StopReason::Budget,
+            hot_bufs,
+            hot_nis,
+            hot_routers,
+            scratch_bufs: Vec::with_capacity(num_bufs),
+            scratch_nis: Vec::with_capacity(n),
+            scratch_routers: Vec::with_capacity(n),
+            work_items: 0,
+            saturated: false,
+            wall_cycles: 0,
+            wall_secs: 0.0,
         }
     }
 
@@ -105,6 +154,13 @@ impl PacketNocSim {
 
     /// Runs for at most `max_cycles`, measuring after `warmup`. Stops early
     /// when the source is done and the network drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mesh makes no forward progress for 100 000 cycles
+    /// while flits or transfers are pending — the same no-forward-progress
+    /// watchdog as the PATRONoC engine (a stuck flit indicates a routing
+    /// or wiring bug; an idle mesh waiting for sparse arrivals is exempt).
     pub fn run<S: TrafficSource + ?Sized>(
         &mut self,
         source: &mut S,
@@ -114,14 +170,47 @@ impl PacketNocSim {
         self.begin_measurement(self.now + warmup);
         let deadline = self.now + max_cycles;
         self.stop_reason = StopReason::Budget;
+        let mut last_progress = (self.now, self.progress_marker());
+        let wall_start = std::time::Instant::now();
+        let first_cycle = self.now;
         while self.now < deadline {
             self.step(source);
+            let marker = self.progress_marker();
+            if marker != last_progress.1 {
+                last_progress = (self.now, marker);
+            } else if self.now - last_progress.0 > 100_000 {
+                if self.is_drained() {
+                    // Not a stall: merely idle between sparse arrivals.
+                    last_progress = (self.now, marker);
+                    continue;
+                }
+                panic!(
+                    "deadlock: no progress since cycle {} (now {}), {} packets delivered",
+                    last_progress.0, self.now, self.packets_delivered
+                );
+            }
             if source.is_done() && self.is_drained() {
                 self.stop_reason = StopReason::Drained;
                 break;
             }
         }
+        self.wall_cycles += self.now - first_cycle;
+        self.wall_secs += wall_start.elapsed().as_secs_f64();
         self.snapshot_report()
+    }
+
+    /// Flit-level progress indicator for the watchdog: any metered byte,
+    /// delivered packet or completed NI injection counts as progress.
+    fn progress_marker(&self) -> (u64, u64) {
+        let injected: u64 = self
+            .nis
+            .iter()
+            .map(NetworkInterface::packets_injected)
+            .sum();
+        (
+            self.meter.bytes() + self.meter.warmup_bytes(),
+            self.packets_delivered + injected,
+        )
     }
 
     /// Snapshot of the metrics at the current cycle — latency sampled per
@@ -138,6 +227,11 @@ impl PacketNocSim {
             mean_latency: self.latency.mean(),
             p99_latency: self.latency.quantile(0.99),
             stop_reason: self.stop_reason,
+            cycles_per_sec: if self.wall_secs > 0.0 {
+                self.wall_cycles as f64 / self.wall_secs
+            } else {
+                0.0
+            },
         }
     }
 
@@ -147,15 +241,36 @@ impl PacketNocSim {
         self.inflight.is_empty() && self.nis.iter().all(NetworkInterface::is_idle)
     }
 
-    /// One simulation cycle.
+    /// Cumulative scheduler work: buffer refreshes plus NI/router steps,
+    /// counted identically in active and full-sweep mode (deterministic,
+    /// unlike wall clock).
+    #[must_use]
+    pub fn work_items(&self) -> u64 {
+        self.work_items
+    }
+
+    /// One simulation cycle: activity-driven by default, or the reference
+    /// full sweep when [`PacketNocConfig::full_sweep`] is set. Both paths
+    /// produce bit-identical state evolution.
     pub fn step<S: TrafficSource + ?Sized>(&mut self, source: &mut S) {
-        let (cols, rows, vcs) = (self.cfg.cols, self.cfg.rows, self.cfg.vcs);
-        for b in &mut self.bufs {
-            b.begin_cycle();
+        if self.cfg.full_sweep {
+            self.step_full(source);
+        } else {
+            self.step_active(source);
         }
-        // Stimulus, bounded per cycle and per NI backlog (see
-        // `PacketNocConfig::ni_queue_cap`): a saturated mesh backpressures
-        // the generator instead of buffering an unbounded transfer backlog.
+    }
+
+    /// Stimulus, bounded per cycle and per NI backlog (see
+    /// `PacketNocConfig::ni_queue_cap`): a saturated mesh backpressures
+    /// the generator instead of buffering an unbounded transfer backlog.
+    /// Runs full-sweep in both stepping modes — sources are stateful, so
+    /// the poll call sequence must not depend on mesh activity. Reports
+    /// via `wake` each node whose NI accepted at least one transfer.
+    fn poll_stimulus<S: TrafficSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        mut wake: impl FnMut(usize),
+    ) {
         for node in 0..self.cfg.num_nodes() {
             for _ in 0..64 {
                 if self.nis[node].queued() >= self.cfg.ni_queue_cap {
@@ -166,8 +281,47 @@ impl PacketNocSim {
                 };
                 let packets = self.nis[node].enqueue(t);
                 self.inflight.insert((node, t.id), packets);
+                wake(node);
             }
         }
+    }
+
+    /// Bookkeeping for one flit delivered to its local endpoint.
+    fn on_delivery(&mut self, f: Flit, completions: &mut Vec<(usize, u64)>) {
+        if f.kind == FlitKind::Head {
+            self.meter.record(self.now, u64::from(f.payload));
+        }
+        if f.kind == FlitKind::Tail {
+            self.packets_delivered += 1;
+            self.latency.record(self.now.saturating_sub(f.injected_at));
+            let key = (f.src, f.transfer);
+            let left = self
+                .inflight
+                .get_mut(&key)
+                .expect("tail of a tracked transfer");
+            *left -= 1;
+            if *left == 0 {
+                self.inflight.remove(&key);
+                self.transfers_completed += 1;
+                completions.push(key);
+            }
+        }
+    }
+
+    /// The reference cycle: step *everything* (the pre-activity-driven
+    /// behaviour, kept as the equivalence oracle). Also the body of the
+    /// saturated regime; returns the number of live buffers so that
+    /// regime knows when precise tracking starts paying again.
+    fn step_full<S: TrafficSource + ?Sized>(&mut self, source: &mut S) -> usize {
+        let vcs = self.cfg.vcs;
+        let (cols, rows) = (self.cfg.cols, self.cfg.rows);
+        self.work_items += (self.bufs.len() + 2 * self.nis.len()) as u64;
+        let mut live = 0usize;
+        for b in &mut self.bufs {
+            b.begin_cycle();
+            live += usize::from(!b.is_empty());
+        }
+        self.poll_stimulus(source, |_| {});
         // NI injection: one flit per node per cycle into the local port.
         for node in 0..self.cfg.num_nodes() {
             let bufs = &mut self.bufs;
@@ -177,36 +331,142 @@ impl PacketNocSim {
                 bufs[idx].push(flit).is_ok()
             });
         }
-        // Routers.
+        // Routers (no wake bookkeeping in full-sweep mode).
         let neighbor = move |node: usize, p: Port| Self::neighbor(cols, rows, node, p);
         let mut completions: Vec<(usize, u64)> = Vec::new();
-        for r in &mut self.routers {
-            for d in r.step(&mut self.bufs, &neighbor) {
-                let f = d.flit;
-                if f.kind == FlitKind::Head {
-                    self.meter.record(self.now, u64::from(f.payload));
-                }
-                if f.kind == FlitKind::Tail {
-                    self.packets_delivered += 1;
-                    self.latency.record(self.now.saturating_sub(f.injected_at));
-                    let key = (f.src, f.transfer);
-                    let left = self
-                        .inflight
-                        .get_mut(&key)
-                        .expect("tail of a tracked transfer");
-                    *left -= 1;
-                    if *left == 0 {
-                        self.inflight.remove(&key);
-                        self.transfers_completed += 1;
-                        completions.push(key);
-                    }
-                }
+        for ri in 0..self.routers.len() {
+            let delivered = self.routers[ri].step(&mut self.bufs, &neighbor, &mut |_| {});
+            for d in delivered {
+                self.on_delivery(d.flit, &mut completions);
             }
         }
         for (src, id) in completions {
             source.on_complete(src, id, self.now);
         }
         self.now += 1;
+        live
+    }
+
+    /// Rebuilds the activity sets when the saturated regime hands back to
+    /// precise tracking.
+    fn rebuild_sets(&mut self) {
+        let bufs_per_node = PORTS * self.cfg.vcs;
+        for b in 0..self.bufs.len() {
+            if !self.bufs[b].is_idle() {
+                self.hot_bufs.insert(b);
+                self.hot_routers.insert(b / bufs_per_node);
+            }
+        }
+        for (n, ni) in self.nis.iter().enumerate() {
+            if !ni.is_idle() {
+                self.hot_nis.insert(n);
+            }
+        }
+    }
+
+    /// The activity-driven cycle: refresh only the hot flit buffers, step
+    /// only NIs with work and routers next to live buffers, in the same
+    /// ascending-node order as the full sweep. Skipped buffers are
+    /// quiescent and skipped components would have been no-ops, so state
+    /// evolution is bit-identical. A saturated mesh runs bookkeeping-free
+    /// full-sweep cycles instead (see the `saturated` field).
+    fn step_active<S: TrafficSource + ?Sized>(&mut self, source: &mut S) {
+        let comps = 2 * self.nis.len();
+        let full_items = self.bufs.len() + comps;
+        if self.saturated {
+            let live = self.step_full(source);
+            // Counterfactual precise-mode cost ≈ live buffers + every NI
+            // and router.
+            if simkit::sched::should_desaturate(live + comps, full_items) {
+                self.saturated = false;
+                self.rebuild_sets();
+            }
+            return;
+        }
+        let tracked = self.step_tracked(source);
+        if simkit::sched::should_saturate(tracked, full_items) {
+            self.saturated = true;
+            self.hot_bufs.clear();
+            self.hot_nis.clear();
+            self.hot_routers.clear();
+        }
+    }
+
+    /// One precisely tracked cycle (the non-saturated regime). Returns the
+    /// number of work items it touched (the regime switch input).
+    fn step_tracked<S: TrafficSource + ?Sized>(&mut self, source: &mut S) -> usize {
+        let vcs = self.cfg.vcs;
+        let (cols, rows) = (self.cfg.cols, self.cfg.rows);
+        let bufs_per_node = PORTS * vcs;
+        // Phase 1: refresh hot buffers; live ones wake their router.
+        let mut live = std::mem::take(&mut self.scratch_bufs);
+        self.hot_bufs.drain_into(&mut live);
+        self.work_items += live.len() as u64;
+        for &b in &live {
+            self.bufs[b].begin_cycle();
+            // After a begin_cycle the snapshot is fresh, so quiescence
+            // reduces to raw emptiness — an O(1) check.
+            if !self.bufs[b].is_empty() {
+                self.hot_bufs.insert(b);
+                self.hot_routers.insert(b / bufs_per_node);
+            }
+        }
+        self.scratch_bufs = live;
+        // Phase 2: stimulus for every node; accepting wakes the NI.
+        let mut woken = std::mem::take(&mut self.scratch_nis);
+        woken.clear();
+        self.poll_stimulus(source, |n| woken.push(n));
+        for &n in &woken {
+            self.hot_nis.insert(n);
+        }
+        self.scratch_nis = woken;
+        // Freeze this cycle's work lists (ascending node order).
+        let mut nis_now = std::mem::take(&mut self.scratch_nis);
+        let mut routers_now = std::mem::take(&mut self.scratch_routers);
+        self.hot_nis.drain_into(&mut nis_now);
+        self.hot_routers.drain_into(&mut routers_now);
+        self.work_items += (nis_now.len() + routers_now.len()) as u64;
+        // Phase 3: NI injection. A busy NI (mid-packet or queued) stays
+        // live, and exactly the local-port buffer it injected into is
+        // marked for refresh next cycle.
+        for &node in &nis_now {
+            let bufs = &mut self.bufs;
+            let hot_bufs = &mut self.hot_bufs;
+            let now = self.now;
+            self.nis[node].step(now, vcs, |vc, flit| {
+                let idx = Router::buf_index(node, LOCAL, vc, vcs);
+                let accepted = bufs[idx].push(flit).is_ok();
+                if accepted {
+                    hot_bufs.insert(idx);
+                }
+                accepted
+            });
+            if !self.nis[node].is_idle() {
+                self.hot_nis.insert(node);
+            }
+        }
+        // Phase 4: routers next to live buffers. Each router reports the
+        // exact downstream buffers it forwarded into (a credit-blocked
+        // router wakes nobody; its own still-occupied input buffers keep
+        // it live).
+        let neighbor = move |node: usize, p: Port| Self::neighbor(cols, rows, node, p);
+        let mut completions: Vec<(usize, u64)> = Vec::new();
+        for &ri in &routers_now {
+            let hot_bufs = &mut self.hot_bufs;
+            let delivered =
+                self.routers[ri].step(&mut self.bufs, &neighbor, &mut |didx| hot_bufs.insert(didx));
+            for d in delivered {
+                self.on_delivery(d.flit, &mut completions);
+            }
+        }
+        for (src, id) in completions {
+            source.on_complete(src, id, self.now);
+        }
+        let tracked = self.scratch_bufs.len() + nis_now.len() + routers_now.len();
+        self.scratch_nis = nis_now;
+        self.scratch_routers = routers_now;
+        self.now += 1;
+        tracked
     }
 }
 
@@ -410,6 +670,85 @@ mod tests {
         let (bytes_big, packets_big, _) = run(1 << 32);
         assert_eq!((bytes_small, packets_small), (bytes_big, packets_big));
         assert!(backlog_small <= 2, "backlog {backlog_small} exceeds cap");
+    }
+
+    /// Runs the same Poisson workload in active and full-sweep mode.
+    fn run_both_modes(load: f64, window: u64) -> [(simkit::SimReport, u64, u64); 2] {
+        [true, false].map(|full_sweep| {
+            let cfg = PacketNocConfig {
+                full_sweep,
+                ..PacketNocConfig::noxim_high_performance()
+            };
+            let mut sim = PacketNocSim::new(cfg);
+            let mut src = traffic::UniformRandom::new(traffic::UniformConfig {
+                masters: 16,
+                slaves: (0..16).collect(),
+                load,
+                bytes_per_cycle: 4.0,
+                max_transfer: 100,
+                read_fraction: 0.5,
+                region_size: 1 << 24,
+                seed: 0x5EED,
+            });
+            let report = sim.run(&mut src, window, window / 5);
+            (report, sim.packets_delivered(), sim.work_items())
+        })
+    }
+
+    #[test]
+    fn active_stepping_is_bit_identical_to_full_sweep() {
+        for load in [0.001, 0.3, 1.0] {
+            let [(fr, fp, _), (ar, ap, _)] = run_both_modes(load, 20_000);
+            assert_eq!(fr, ar, "report differs at load {load}");
+            assert_eq!(fp, ap, "packet count differs at load {load}");
+        }
+    }
+
+    #[test]
+    fn active_stepping_skips_most_work_when_idle() {
+        let [(_, _, full_work), (_, _, active_work)] = run_both_modes(0.001, 50_000);
+        assert!(
+            active_work * 5 <= full_work,
+            "active {active_work} vs full {full_work} work items"
+        );
+    }
+
+    /// A transfer whose destination lies outside the mesh: XY routing
+    /// steers its flits South off the bottom edge, where no output port
+    /// exists, wedging them forever — a deliberate deadlock.
+    struct OffMesh(bool);
+    impl TrafficSource for OffMesh {
+        fn poll(&mut self, master: usize, _now: Cycle) -> Option<Transfer> {
+            if master != 0 || self.0 {
+                return None;
+            }
+            self.0 = true;
+            Some(Transfer {
+                id: 1,
+                dst: 99,
+                offset: 0,
+                bytes: 4,
+                kind: TransferKind::Write,
+            })
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock: no progress since cycle")]
+    fn watchdog_trips_on_deadlocked_traffic() {
+        let mut sim = PacketNocSim::new(PacketNocConfig::noxim_compact());
+        sim.run(&mut OffMesh(false), 150_000, 0);
+    }
+
+    #[test]
+    fn watchdog_threshold_is_one_hundred_thousand_cycles() {
+        // The wedged packet makes its last progress when the NI finishes
+        // injecting it; the watchdog must stay quiet for the documented
+        // 100 000 cycles after that and only panic beyond them.
+        let mut sim = PacketNocSim::new(PacketNocConfig::noxim_compact());
+        let report = sim.run(&mut OffMesh(false), 100_000, 0);
+        assert_eq!(report.transfers_completed, 0);
+        assert!(!sim.is_drained(), "the wedged flits are still in flight");
     }
 
     #[test]

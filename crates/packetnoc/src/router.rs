@@ -154,11 +154,15 @@ impl Router {
     /// One switch-allocation cycle: for every output port, forward at most
     /// one flit from an input VC. `bufs` is the engine's flat buffer array;
     /// `neighbor` maps an output port to the neighbouring node. Flits
-    /// switched to the local port are returned as deliveries.
+    /// switched to the local port are returned as deliveries; `on_push` is
+    /// called with the downstream buffer index of every flit forwarded to
+    /// a neighbour — the activity scheduler's precise wake signal (a
+    /// credit-blocked router forwards nothing and wakes nobody).
     pub fn step(
         &mut self,
         bufs: &mut [Fifo<Flit>],
         neighbor: &dyn Fn(usize, Port) -> Option<usize>,
+        on_push: &mut dyn FnMut(usize),
     ) -> Vec<Delivery> {
         let mut delivered = Vec::new();
         let vcs = self.vcs;
@@ -233,6 +237,7 @@ impl Router {
                 Some(nb) => {
                     let didx = Self::buf_index(nb, out_port.opposite().index(), v, vcs);
                     assert!(bufs[didx].push(flit).is_ok(), "credit checked above");
+                    on_push(didx);
                 }
             }
         }
@@ -320,8 +325,8 @@ mod tests {
             for b in &mut bufs {
                 b.begin_cycle();
             }
-            delivered.extend(r0.step(&mut bufs, &two_node_neighbor));
-            delivered.extend(r1.step(&mut bufs, &two_node_neighbor));
+            delivered.extend(r0.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
+            delivered.extend(r1.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
         }
         assert_eq!(delivered.len(), 2);
         assert_eq!(delivered[0].flit.kind, FlitKind::Head);
@@ -362,8 +367,8 @@ mod tests {
                 bufs[local0].push(tail_a).unwrap();
                 bufs[north0].push(tail_b).unwrap();
             }
-            delivered.extend(r0.step(&mut bufs, &two_node_neighbor));
-            delivered.extend(r1.step(&mut bufs, &two_node_neighbor));
+            delivered.extend(r0.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
+            delivered.extend(r1.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
         }
         let order: Vec<u64> = delivered.iter().map(|d| d.flit.transfer).collect();
         assert_eq!(order.len(), 4);
@@ -392,7 +397,7 @@ mod tests {
             for b in &mut bufs {
                 b.begin_cycle();
             }
-            let _ = r0.step(&mut bufs, &two_node_neighbor);
+            let _ = r0.step(&mut bufs, &two_node_neighbor, &mut |_| {});
         }
         // Node 1 never runs: its West input buffer holds exactly 2 flits.
         let west1 = Router::buf_index(1, Port::West.index(), 0, vcs);
@@ -423,7 +428,7 @@ mod tests {
             for b in &mut bufs {
                 b.begin_cycle();
             }
-            let _ = r0.step(&mut bufs, &two_node_neighbor);
+            let _ = r0.step(&mut bufs, &two_node_neighbor, &mut |_| {});
             for v in 0..2 {
                 let widx = Router::buf_index(1, Port::West.index(), v, vcs);
                 if let Some(f) = bufs[widx].pop() {

@@ -55,6 +55,14 @@ pub struct NocConfig {
     pub masters: Vec<usize>,
     /// Nodes hosting memory slaves (default: all).
     pub slaves: Vec<usize>,
+    /// Debug mode: step *every* link, XP, DMA and memory slave every cycle
+    /// (the pre-activity-driven behaviour) instead of only the components
+    /// the scheduler knows to be live. Results are bit-identical either
+    /// way — `crates/bench/tests/equivalence.rs` pins that — so this
+    /// exists purely as the reference against which the active-set path is
+    /// cross-checked, and as a bisection aid if a future change ever
+    /// breaks the quiescence contract.
+    pub full_sweep: bool,
 }
 
 impl NocConfig {
@@ -77,6 +85,7 @@ impl NocConfig {
             region_size: 1 << 24,
             masters: (0..n).collect(),
             slaves: (0..n).collect(),
+            full_sweep: false,
         }
     }
 

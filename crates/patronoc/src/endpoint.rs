@@ -114,6 +114,12 @@ impl DmaEngine {
         self.node
     }
 
+    /// The index of the link this engine masters (its only neighbour).
+    #[must_use]
+    pub fn link(&self) -> usize {
+        self.link
+    }
+
     /// Queues a transfer descriptor.
     pub fn enqueue(&mut self, t: ResolvedTransfer) {
         self.queue.push_back(t);
@@ -154,8 +160,12 @@ impl DmaEngine {
     /// Advances one cycle. `meter` accumulates read payload delivered to
     /// this master (write payload is counted at the slave; a copy's read
     /// leg is *not* metered — its payload is counted once, at the
-    /// destination).
-    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) {
+    /// destination). Returns whether the engine remains active — i.e.
+    /// must be stepped again next cycle even if no new beat arrives on
+    /// its link (queued descriptors, an active transfer, or outstanding
+    /// responses). The caller should also mark [`link`](Self::link) live,
+    /// since a step may have pushed request or data beats into it.
+    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) -> bool {
         let link = &mut links[self.link];
         // Write responses.
         if let Some(beat) = link.b.pop() {
@@ -313,6 +323,7 @@ impl DmaEngine {
                 }
             }
         }
+        !self.is_idle()
     }
 }
 
@@ -378,6 +389,12 @@ impl MemorySlave {
         self.node
     }
 
+    /// The index of the link this memory serves (its only neighbour).
+    #[must_use]
+    pub fn link(&self) -> usize {
+        self.link
+    }
+
     /// Total write payload accepted (all time, not windowed).
     #[must_use]
     pub fn write_bytes(&self) -> u64 {
@@ -390,8 +407,11 @@ impl MemorySlave {
         self.outstanding_rd == 0 && self.outstanding_wr == 0
     }
 
-    /// Advances one cycle. `meter` accumulates write payload accepted here.
-    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) {
+    /// Advances one cycle. `meter` accumulates write payload accepted
+    /// here. Returns whether the memory remains active (transactions in
+    /// progress); the caller should also mark [`link`](Self::link) live,
+    /// since a step may have pushed response beats into it.
+    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) -> bool {
         let link = &mut links[self.link];
         // Accept one write request.
         if self.outstanding_wr < self.cap {
@@ -471,6 +491,7 @@ impl MemorySlave {
                 }
             }
         }
+        !self.is_idle()
     }
 }
 

@@ -78,19 +78,27 @@ impl<T> Channel<T> {
     }
 
     /// Starts a cycle: snapshots all stages and moves beats one stage
-    /// forward (stage i → i+1).
-    pub fn begin_cycle(&mut self) {
+    /// forward (stage i → i+1). Returns whether the channel still holds
+    /// beats — `false` means it is now quiescent ([`is_idle`](Self::is_idle)
+    /// holds: the snapshot was just refreshed on empty stages), so the
+    /// activity scheduler may skip it until a producer pushes again. The
+    /// liveness falls out of the snapshot walk for free, which keeps the
+    /// saturated hot path as fast as the unconditional sweep.
+    pub fn begin_cycle(&mut self) -> bool {
+        let mut occupied = false;
         for s in &mut self.stages {
             s.begin_cycle();
+            occupied |= !s.is_empty();
         }
         // Advance the internal pipeline back to front so a beat moves at
-        // most one stage per cycle.
+        // most one stage per cycle (total occupancy is unchanged).
         for i in (0..self.stages.len().saturating_sub(1)).rev() {
             if self.stages[i + 1].can_push() && self.stages[i].can_pop() {
                 let v = self.stages[i].pop().expect("can_pop checked");
                 assert!(self.stages[i + 1].push(v).is_ok(), "can_push checked above");
             }
         }
+        occupied
     }
 
     /// Whether the producer can push this cycle.
@@ -137,6 +145,16 @@ impl<T> Channel<T> {
     pub fn is_empty(&self) -> bool {
         self.occupancy() == 0
     }
+
+    /// Whether the channel is *quiescent*: every stage is empty with a
+    /// fully refreshed snapshot ([`Fifo::is_idle`]), so the next
+    /// [`begin_cycle`](Self::begin_cycle) — snapshot plus pipeline advance
+    /// — would be a no-op. This is what lets the activity-driven engine
+    /// skip the channel without changing any observable behaviour.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.stages.iter().all(Fifo::is_idle)
+    }
 }
 
 /// One AXI interface: AW/W/AR forward, B/R backward.
@@ -170,13 +188,16 @@ impl AxiLink {
         }
     }
 
-    /// Starts a simulation cycle on all five channels.
-    pub fn begin_cycle(&mut self) {
-        self.aw.begin_cycle();
-        self.w.begin_cycle();
-        self.ar.begin_cycle();
-        self.b.begin_cycle();
-        self.r.begin_cycle();
+    /// Starts a simulation cycle on all five channels. Returns whether any
+    /// channel still holds beats (the link must stay hot); `false` means
+    /// the link is now quiescent ([`is_quiescent`](Self::is_quiescent)).
+    pub fn begin_cycle(&mut self) -> bool {
+        let mut live = self.aw.begin_cycle();
+        live |= self.w.begin_cycle();
+        live |= self.ar.begin_cycle();
+        live |= self.b.begin_cycle();
+        live |= self.r.begin_cycle();
+        live
     }
 
     /// Whether every channel is empty (used for drain detection).
@@ -187,6 +208,19 @@ impl AxiLink {
             && self.ar.is_empty()
             && self.b.is_empty()
             && self.r.is_empty()
+    }
+
+    /// Whether every channel is quiescent ([`Channel::is_idle`]): stronger
+    /// than [`is_idle`](Self::is_idle), because it also requires the cycle
+    /// snapshots to be refreshed. A quiescent link can safely be skipped
+    /// by [`begin_cycle`](Self::begin_cycle) with no observable effect.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.aw.is_idle()
+            && self.w.is_idle()
+            && self.ar.is_idle()
+            && self.b.is_idle()
+            && self.r.is_idle()
     }
 }
 
@@ -283,5 +317,28 @@ mod tests {
     #[should_panic(expected = "at least one register stage")]
     fn zero_stages_rejected() {
         let _ = Channel::<u64>::new(0);
+    }
+
+    #[test]
+    fn quiescence_is_stricter_than_emptiness() {
+        let mut l = AxiLink::new(2);
+        // Fresh link: empty, but snapshots are unrefreshed.
+        assert!(l.is_idle());
+        assert!(!l.is_quiescent());
+        l.begin_cycle();
+        assert!(l.is_quiescent());
+        // Carrying a beat: neither.
+        l.w.push(beat(4, true));
+        assert!(!l.is_idle());
+        assert!(!l.is_quiescent());
+        // Drain it: empty again, but the stale snapshot still needs one
+        // more begin_cycle before the link may be skipped.
+        l.begin_cycle();
+        l.begin_cycle();
+        assert!(l.w.pop().is_some());
+        assert!(l.is_idle());
+        assert!(!l.is_quiescent());
+        l.begin_cycle();
+        assert!(l.is_quiescent());
     }
 }

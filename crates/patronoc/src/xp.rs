@@ -134,17 +134,32 @@ impl Xp {
             + self.rd_remap.iter().map(IdRemapper::in_use).sum::<usize>()
     }
 
-    /// Advances all five channels by one cycle.
-    pub fn step(&mut self, links: &mut [AxiLink]) {
-        self.step_requests(links, true);
-        self.step_requests(links, false);
-        self.step_w(links);
-        self.step_b(links);
-        self.step_r(links);
+    /// The indices of every link wired to this XP (inputs then outputs,
+    /// each in port order) — the neighbourhood an activity-driven
+    /// scheduler must mark live after the XP moved beats.
+    pub fn links(&self) -> impl Iterator<Item = usize> + '_ {
+        self.in_links
+            .iter()
+            .chain(self.out_links.iter())
+            .filter_map(|l| *l)
+    }
+
+    /// Advances all five channels by one cycle. Returns whether the XP
+    /// moved any beat — `false` means the step was a no-op (nothing to
+    /// route) and none of its adjacent links were touched, so the
+    /// scheduler may leave the neighbourhood asleep.
+    pub fn step(&mut self, links: &mut [AxiLink]) -> bool {
+        let mut moved = self.step_requests(links, true);
+        moved |= self.step_requests(links, false);
+        moved |= self.step_w(links);
+        moved |= self.step_b(links);
+        moved |= self.step_r(links);
+        moved
     }
 
     /// AW (write = true) or AR (write = false) stage.
-    fn step_requests(&mut self, links: &mut [AxiLink], write: bool) {
+    fn step_requests(&mut self, links: &mut [AxiLink], write: bool) -> bool {
+        let mut moved = false;
         for o in 0..PORTS {
             let Some(out_idx) = self.out_links[o] else {
                 continue;
@@ -234,11 +249,14 @@ impl Xp {
                 beat.id = rid;
                 links[out_idx].ar.push(beat);
             }
+            moved = true;
         }
+        moved
     }
 
     /// W stage: forward write data in AW grant order.
-    fn step_w(&mut self, links: &mut [AxiLink]) {
+    fn step_w(&mut self, links: &mut [AxiLink]) -> bool {
+        let mut moved = false;
         for o in 0..PORTS {
             let Some(out_idx) = self.out_links[o] else {
                 continue;
@@ -260,15 +278,18 @@ impl Xp {
             let last = beat.last;
             links[out_idx].w.push(beat);
             self.w_beats[o] += 1;
+            moved = true;
             if last {
                 self.w_order[o].pop_front();
                 self.w_route[i].pop_front();
             }
         }
+        moved
     }
 
     /// B stage: route write responses back through the remap tables.
-    fn step_b(&mut self, links: &mut [AxiLink]) {
+    fn step_b(&mut self, links: &mut [AxiLink]) -> bool {
+        let mut moved = false;
         for i in 0..PORTS {
             let Some(in_idx) = self.in_links[i] else {
                 continue;
@@ -300,11 +321,14 @@ impl Xp {
             self.aw_guard[i].complete(key.id);
             beat.id = key.id;
             links[in_idx].b.push(beat);
+            moved = true;
         }
+        moved
     }
 
     /// R stage: route read data back, keeping bursts atomic per upstream.
-    fn step_r(&mut self, links: &mut [AxiLink]) {
+    fn step_r(&mut self, links: &mut [AxiLink]) -> bool {
+        let mut moved = false;
         for i in 0..PORTS {
             let Some(in_idx) = self.in_links[i] else {
                 continue;
@@ -359,7 +383,9 @@ impl Xp {
             beat.id = key.id;
             links[in_idx].r.push(beat);
             self.r_beats[i] += 1;
+            moved = true;
         }
+        moved
     }
 }
 

@@ -25,6 +25,9 @@ pub enum ScenarioError {
     /// The requested probe needs a different engine (e.g.
     /// [`Scenario::build_noc_sim`] on a packet scenario).
     WrongEngine(&'static str),
+    /// [`Scenario::from_json`] could not understand the document: invalid
+    /// JSON, a missing key, a wrong type or an unknown label.
+    Parse(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -47,6 +50,7 @@ impl fmt::Display for ScenarioError {
                 )
             }
             Self::WrongEngine(what) => write!(f, "this probe needs {what}"),
+            Self::Parse(why) => write!(f, "cannot parse scenario: {why}"),
         }
     }
 }
@@ -519,6 +523,112 @@ impl Scenario {
             report.stop_reason = StopReason::WindowComplete;
         }
         Ok(report)
+    }
+
+    /// Parses a scenario from the JSON object [`to_json`](Self::to_json)
+    /// produces, closing the serialize/deserialize round trip: for every
+    /// scenario `s`, `Scenario::from_json(&s.to_json()) == Ok(s)`, and the
+    /// serialized text is a fixpoint of `to_json → parse → to_json`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] naming the missing key, wrong type or
+    /// unknown label.
+    pub fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        use crate::spec::{get_str, get_u64, obj_get};
+        fn parse<T>(r: Result<T, String>) -> Result<T, ScenarioError> {
+            r.map_err(ScenarioError::Parse)
+        }
+        let width = |key| {
+            get_u64(v, key)
+                .and_then(|n| u32::try_from(n).map_err(|_| format!("key `{key}` out of range")))
+        };
+        let topology = {
+            let t = parse(obj_get(v, "topology"))?;
+            let dim = |key| {
+                get_u64(t, key).and_then(|n| {
+                    usize::try_from(n).map_err(|_| format!("topology `{key}` out of range"))
+                })
+            };
+            match parse(get_str(t, "kind"))? {
+                "mesh" => Topology::Mesh {
+                    cols: parse(dim("cols"))?,
+                    rows: parse(dim("rows"))?,
+                },
+                "torus" => Topology::Torus {
+                    cols: parse(dim("cols"))?,
+                    rows: parse(dim("rows"))?,
+                },
+                "ring" => Topology::Ring {
+                    nodes: parse(dim("nodes"))?,
+                },
+                other => {
+                    return Err(ScenarioError::Parse(format!(
+                        "unknown topology kind `{other}`"
+                    )))
+                }
+            }
+        };
+        let algorithm = match parse(get_str(v, "algorithm"))? {
+            "yx" => RoutingAlgorithm::YxDimensionOrder,
+            "xy" => RoutingAlgorithm::XyDimensionOrder,
+            other => {
+                return Err(ScenarioError::Parse(format!(
+                    "unknown routing algorithm `{other}`"
+                )))
+            }
+        };
+        let connectivity = match parse(get_str(v, "connectivity"))? {
+            "partial" => Connectivity::Partial,
+            "full" => Connectivity::Full,
+            other => {
+                return Err(ScenarioError::Parse(format!(
+                    "unknown connectivity `{other}`"
+                )))
+            }
+        };
+        let budget = match parse(obj_get(v, "budget"))? {
+            Json::Null => None,
+            Json::U64(n) => Some(*n),
+            other => {
+                return Err(ScenarioError::Parse(format!(
+                    "key `budget`: expected null or an integer, got `{other}`"
+                )))
+            }
+        };
+        Ok(Self {
+            engine: parse(crate::spec::EngineSpec::from_json(parse(obj_get(
+                v, "engine",
+            ))?))?,
+            topology,
+            addr_width: parse(width("addr_width"))?,
+            data_width: parse(width("data_width"))?,
+            id_width: parse(width("id_width"))?,
+            max_outstanding: parse(width("max_outstanding"))?,
+            algorithm,
+            connectivity,
+            link_stages: parse(get_u64(v, "link_stages").and_then(|n| {
+                usize::try_from(n).map_err(|_| "key `link_stages` out of range".to_owned())
+            }))?,
+            region_size: parse(get_u64(v, "region_size"))?,
+            traffic: parse(TrafficSpec::from_json(parse(obj_get(v, "traffic"))?))?,
+            warmup: parse(get_u64(v, "warmup"))?,
+            window: parse(get_u64(v, "window"))?,
+            budget,
+            seed: parse(get_u64(v, "seed"))?,
+        })
+    }
+
+    /// Parses a scenario straight from JSON text — what a trace-replay
+    /// service would call on an incoming request body.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] for malformed JSON (with the byte offset)
+    /// or an invalid scenario document.
+    pub fn from_json_str(text: &str) -> Result<Self, ScenarioError> {
+        let v = Json::parse(text).map_err(|e| ScenarioError::Parse(e.to_string()))?;
+        Self::from_json(&v)
     }
 
     /// Serializes the complete run recipe as a JSON object — the artifact

@@ -35,6 +35,23 @@ impl EngineSpec {
     pub fn to_json(self) -> Json {
         Json::str(self.label())
     }
+
+    /// Parses the value [`to_json`](Self::to_json) produces.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown label or wrong JSON type.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "patronoc" => Ok(Self::Patronoc),
+                "packet-compact" => Ok(Self::Packet(PacketProfile::Compact)),
+                "packet-high-performance" => Ok(Self::Packet(PacketProfile::HighPerformance)),
+                other => Err(format!("unknown engine `{other}`")),
+            },
+            other => Err(format!("engine: expected a string, got `{other}`")),
+        }
+    }
 }
 
 /// The paper's two Noxim baseline configurations (§IV-A).
@@ -179,11 +196,104 @@ impl TrafficSpec {
     }
 }
 
+impl TrafficSpec {
+    /// Parses the object [`to_json`](Self::to_json) produces.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing key, wrong type or unknown label.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match get_str(v, "kind")? {
+            "uniform" => Ok(Self::Uniform {
+                load: get_f64(v, "load")?,
+                max_transfer: get_u64(v, "max_transfer")?,
+                read_fraction: get_f64(v, "read_fraction")?,
+                copies: get_bool(v, "copies")?,
+            }),
+            "synthetic" => Ok(Self::Synthetic {
+                pattern: pattern_from_label(get_str(v, "pattern")?)?,
+                load: get_f64(v, "load")?,
+                max_transfer: get_u64(v, "max_transfer")?,
+                read_fraction: get_f64(v, "read_fraction")?,
+            }),
+            "dnn" => {
+                let name = get_str(v, "workload")?;
+                let workload = DnnWorkload::all()
+                    .into_iter()
+                    .find(|w| w.name() == name)
+                    .ok_or_else(|| format!("unknown DNN workload `{name}`"))?;
+                Ok(Self::Dnn {
+                    workload,
+                    steps: usize::try_from(get_u64(v, "steps")?)
+                        .map_err(|_| "steps exceeds usize".to_owned())?,
+                })
+            }
+            other => Err(format!("unknown traffic kind `{other}`")),
+        }
+    }
+}
+
 fn pattern_label(pattern: SyntheticPattern) -> &'static str {
     match pattern {
         SyntheticPattern::AllGlobal => "all-global",
         SyntheticPattern::MaxTwoHop => "max-2-hop",
         SyntheticPattern::MaxSingleHop => "max-1-hop",
+    }
+}
+
+fn pattern_from_label(label: &str) -> Result<SyntheticPattern, String> {
+    match label {
+        "all-global" => Ok(SyntheticPattern::AllGlobal),
+        "max-2-hop" => Ok(SyntheticPattern::MaxTwoHop),
+        "max-1-hop" => Ok(SyntheticPattern::MaxSingleHop),
+        other => Err(format!("unknown synthetic pattern `{other}`")),
+    }
+}
+
+/// Looks up `key` in a JSON object.
+pub(crate) fn obj_get<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    match v {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .find_map(|(k, val)| (k == key).then_some(val))
+            .ok_or_else(|| format!("missing key `{key}`")),
+        other => Err(format!("expected an object, got `{other}`")),
+    }
+}
+
+/// Reads an unsigned integer field.
+pub(crate) fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    match obj_get(v, key)? {
+        Json::U64(n) => Ok(*n),
+        other => Err(format!("key `{key}`: expected an integer, got `{other}`")),
+    }
+}
+
+/// Reads a float field. Whole floats serialize without a fraction (the
+/// writer prints `1.0` as `1`, which parses back as `U64`), so both
+/// numeric variants are accepted.
+pub(crate) fn get_f64(v: &Json, key: &str) -> Result<f64, String> {
+    match obj_get(v, key)? {
+        Json::F64(x) => Ok(*x),
+        #[allow(clippy::cast_precision_loss)] // round-tripped whole floats
+        Json::U64(n) => Ok(*n as f64),
+        other => Err(format!("key `{key}`: expected a number, got `{other}`")),
+    }
+}
+
+/// Reads a boolean field.
+pub(crate) fn get_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match obj_get(v, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("key `{key}`: expected a bool, got `{other}`")),
+    }
+}
+
+/// Reads a string field.
+pub(crate) fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    match obj_get(v, key)? {
+        Json::Str(s) => Ok(s),
+        other => Err(format!("key `{key}`: expected a string, got `{other}`")),
     }
 }
 

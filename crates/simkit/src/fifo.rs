@@ -131,6 +131,22 @@ impl<T> Fifo<T> {
         self.buf.pop_front()
     }
 
+    /// Whether the FIFO is *quiescent*: empty **and** its cycle snapshot is
+    /// fully refreshed, so the next [`begin_cycle`](Self::begin_cycle) would
+    /// be a no-op. This is the contract activity-driven schedulers rely on
+    /// to skip idle channels: a quiescent FIFO behaves identically whether
+    /// or not `begin_cycle` is called on it.
+    ///
+    /// Note the difference from [`is_empty`](Self::is_empty): a FIFO that
+    /// was just drained is empty but *not* idle — the slots freed by the
+    /// pops only become pushable after one more `begin_cycle`, so skipping
+    /// that call would be observable. A freshly constructed FIFO is also
+    /// not idle until its first `begin_cycle` (nothing is pushable yet).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && self.snap_len == 0 && self.snap_free == self.capacity
+    }
+
     /// Current *raw* occupancy (including values pushed this cycle).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -236,6 +252,12 @@ impl<T> RegisterSlice<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// See [`Fifo::is_idle`].
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.0.is_idle()
     }
 }
 
@@ -355,6 +377,32 @@ mod tests {
         assert!(!f.can_pop());
         f.begin_cycle();
         assert!(f.can_push());
+    }
+
+    #[test]
+    fn idle_means_begin_cycle_is_a_no_op() {
+        let mut f: Fifo<u32> = Fifo::new(2);
+        // Fresh: empty but not idle (nothing pushable before the first
+        // snapshot).
+        assert!(!f.is_idle());
+        f.begin_cycle();
+        assert!(f.is_idle());
+        // Pushed: raw occupancy makes it non-idle.
+        f.push(1).unwrap();
+        assert!(!f.is_idle());
+        f.begin_cycle();
+        assert!(!f.is_idle());
+        // Drained: empty again, but the snapshot is stale (the freed slot
+        // is not pushable yet), so still not idle.
+        assert_eq!(f.pop(), Some(1));
+        assert!(f.is_empty());
+        assert!(!f.is_idle());
+        f.begin_cycle();
+        assert!(f.is_idle());
+        // On an idle FIFO, begin_cycle changes nothing observable.
+        assert!(f.can_push() && !f.can_pop());
+        f.begin_cycle();
+        assert!(f.can_push() && !f.can_pop() && f.is_idle());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   exactly reproducible from its seed.
 //! * [`stats`] — counters, Welford mean/variance, log-2 histograms and a
 //!   windowed throughput meter.
+//! * [`sched`] — the [`ActiveSet`] behind activity-driven stepping: a
+//!   deterministic (ascending-index) set of live component indices so the
+//!   engines only touch non-quiescent hardware each cycle.
 //! * [`pool`] — a scoped worker pool ([`pool::scope_map`]) for fanning
 //!   independent simulation points across threads with index-ordered,
 //!   serial-identical results.
@@ -50,6 +53,7 @@ pub mod json;
 pub mod pool;
 pub mod report;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use arbiter::RoundRobinArbiter;
@@ -57,6 +61,7 @@ pub use fifo::{Fifo, PushError, RegisterSlice};
 pub use json::Json;
 pub use report::{SimReport, StopReason};
 pub use rng::Rng;
+pub use sched::ActiveSet;
 pub use stats::{Histogram, RunningStats, ThroughputMeter};
 
 /// Simulation time in clock cycles.

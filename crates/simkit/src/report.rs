@@ -28,8 +28,11 @@ pub enum StopReason {
 /// Result of a simulation run, identical in shape for every engine.
 ///
 /// `PartialEq` compares floats exactly (bit-for-bit modulo `-0.0`), which
-/// is the contract the `--jobs` determinism tests assert.
-#[derive(Debug, Clone, PartialEq)]
+/// is the contract the `--jobs` determinism tests assert — except for
+/// [`cycles_per_sec`](Self::cycles_per_sec), which is wall-clock telemetry
+/// (machine- and load-dependent by nature) and is deliberately excluded
+/// from equality.
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Cycles simulated.
     pub cycles: Cycle,
@@ -53,6 +56,25 @@ pub struct SimReport {
     pub p99_latency: u64,
     /// Why the run stopped.
     pub stop_reason: StopReason,
+    /// Simulated cycles per wall-clock second, averaged over every
+    /// [`run`](crate) loop this engine executed so far — the simulator's
+    /// own speed, not a property of the simulated NoC. `0.0` when the
+    /// engine was only stepped manually (no timed `run` loop). Excluded
+    /// from `PartialEq`: wall clock is not deterministic.
+    pub cycles_per_sec: f64,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.payload_bytes == other.payload_bytes
+            && self.throughput_gib_s == other.throughput_gib_s
+            && self.throughput_bytes_s == other.throughput_bytes_s
+            && self.transfers_completed == other.transfers_completed
+            && self.mean_latency == other.mean_latency
+            && self.p99_latency == other.p99_latency
+            && self.stop_reason == other.stop_reason
+    }
 }
 
 impl SimReport {
@@ -79,11 +101,33 @@ mod tests {
             mean_latency: 4.0,
             p99_latency: 8,
             stop_reason: StopReason::Drained,
+            cycles_per_sec: 0.0,
         };
         assert!(r.is_drained());
         for reason in [StopReason::Budget, StopReason::WindowComplete] {
             r.stop_reason = reason;
             assert!(!r.is_drained());
         }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_rate() {
+        let r = SimReport {
+            cycles: 1,
+            payload_bytes: 2,
+            throughput_gib_s: 0.5,
+            throughput_bytes_s: 5.0e8,
+            transfers_completed: 3,
+            mean_latency: 4.0,
+            p99_latency: 8,
+            stop_reason: StopReason::Drained,
+            cycles_per_sec: 1.0e6,
+        };
+        let mut faster = r.clone();
+        faster.cycles_per_sec = 9.0e6;
+        assert_eq!(r, faster, "wall clock must not break determinism");
+        let mut different = r.clone();
+        different.payload_bytes = 99;
+        assert_ne!(r, different);
     }
 }

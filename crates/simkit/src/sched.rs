@@ -1,0 +1,204 @@
+//! Activity-driven scheduling primitives.
+//!
+//! The NoC engines step `Vec`-indexed component arrays every cycle. At low
+//! injected loads almost all of those components are quiescent, so a full
+//! sweep burns >90 % of the wall clock touching idle state. [`ActiveSet`]
+//! is the deterministic membership structure the engines use instead: a
+//! dense bitmask (for O(1) insert/dedup and *ascending-index* iteration)
+//! plus a dirty list (so clearing costs O(members), not O(capacity)).
+//!
+//! Ascending iteration is the load-bearing property: stepping the active
+//! subset in index order visits components in exactly the relative order
+//! of the old full sweep, which — combined with the two-phase
+//! [`Fifo`](crate::Fifo) snapshot discipline and its
+//! [`is_idle`](crate::Fifo::is_idle) quiescence contract — makes
+//! activity-driven stepping bit-identical to the full sweep.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::sched::ActiveSet;
+//!
+//! let mut set = ActiveSet::new(100);
+//! set.insert(17);
+//! set.insert(3);
+//! set.insert(17); // deduplicated
+//! let mut order = Vec::new();
+//! set.drain_into(&mut order);
+//! assert_eq!(order, [3, 17]); // ascending, regardless of insert order
+//! assert!(set.is_empty());
+//! ```
+
+/// Saturated-regime entry threshold, as a `(numerator, denominator)`
+/// fraction of the full sweep's work items: when one precisely tracked
+/// cycle touches at least this fraction, the engine switches to
+/// bookkeeping-free full-sweep cycles — above ~2/3 activity the skipped
+/// third no longer pays for the per-item set maintenance (measured on
+/// both engines via `bench/src/bin/perf.rs`). Shared by every engine so
+/// the two-regime behaviour cannot drift apart.
+pub const SATURATE_ENTER: (usize, usize) = (2, 3);
+
+/// Saturated-regime exit threshold, well below [`SATURATE_ENTER`]
+/// (hysteresis against flapping): when the estimated precise-mode work of
+/// a full-sweep cycle drops under this fraction, the engine rebuilds its
+/// activity sets and resumes precise tracking.
+pub const SATURATE_EXIT: (usize, usize) = (1, 2);
+
+/// Whether `tracked` work items out of `full` cross the
+/// [`SATURATE_ENTER`] threshold.
+#[must_use]
+pub fn should_saturate(tracked: usize, full: usize) -> bool {
+    tracked * SATURATE_ENTER.1 >= full * SATURATE_ENTER.0
+}
+
+/// Whether `estimated` precise-mode work items out of `full` have dropped
+/// below the [`SATURATE_EXIT`] threshold.
+#[must_use]
+pub fn should_desaturate(estimated: usize, full: usize) -> bool {
+    estimated * SATURATE_EXIT.1 < full * SATURATE_EXIT.0
+}
+
+/// A set of component indices with deterministic ascending iteration.
+///
+/// Insertion is idempotent; [`drain_into`](Self::drain_into) empties the
+/// set and yields the members in ascending index order, which is how the
+/// engines freeze "this cycle's" work list while re-inserting next cycle's
+/// activity into the same set.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSet {
+    /// Dense membership bitmask, one bit per component index.
+    words: Vec<u64>,
+    /// Indices inserted since the last clear/drain (unordered; the mask
+    /// deduplicates). Lets `clear` touch only the set bits.
+    dirty: Vec<usize>,
+}
+
+impl ActiveSet {
+    /// Creates a set over component indices `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            dirty: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The number of indices currently in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether the set holds no indices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Whether `index` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the capacity the set was built with.
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Inserts `index`; a no-op when already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the capacity the set was built with.
+    pub fn insert(&mut self, index: usize) {
+        let (w, bit) = (index / 64, 1u64 << (index % 64));
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.dirty.push(index);
+        }
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        for &i in &self.dirty {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+        self.dirty.clear();
+    }
+
+    /// Moves the members into `out` in **ascending index order** and clears
+    /// the set. `out` is cleared first; its allocation is reused across
+    /// cycles. Costs O(members · log members) — the dirty list is already
+    /// deduplicated by the mask, so sorting it yields the ascending order
+    /// without scanning the whole bitmask (the per-cycle floor must stay
+    /// proportional to *activity*, not capacity, or large near-idle meshes
+    /// would pay for their size every cycle).
+    pub fn drain_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        self.dirty.sort_unstable();
+        for &i in &self.dirty {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+            out.push(i);
+        }
+        self.dirty.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = ActiveSet::new(10);
+        s.insert(4);
+        s.insert(4);
+        s.insert(4);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn drain_is_ascending_regardless_of_insertion_order() {
+        let mut s = ActiveSet::new(300);
+        for i in [299, 0, 64, 63, 65, 128, 1, 299] {
+            s.insert(i);
+        }
+        let mut out = Vec::new();
+        s.drain_into(&mut out);
+        assert_eq!(out, [0, 1, 63, 64, 65, 128, 299]);
+        assert!(s.is_empty());
+        // The set is reusable after a drain.
+        s.insert(7);
+        s.drain_into(&mut out);
+        assert_eq!(out, [7]);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut s = ActiveSet::new(128);
+        for i in 0..128 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 128);
+        s.clear();
+        assert!(s.is_empty());
+        assert!((0..128).all(|i| !s.contains(i)));
+    }
+
+    #[test]
+    fn empty_set_drains_to_nothing() {
+        let mut s = ActiveSet::new(0);
+        let mut out = vec![9, 9];
+        s.drain_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_capacity_insert_panics() {
+        let mut s = ActiveSet::new(64);
+        s.insert(64);
+    }
+}
