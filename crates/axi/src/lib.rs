@@ -48,7 +48,7 @@ pub use addr::AddressMap;
 pub use burst::{Burst, BurstType};
 pub use id::{AxiId, IdRemapper};
 pub use params::{AxiParams, ConfigError};
-pub use split::split_transfer;
+pub use split::{split_transfer, SplitCursor};
 
 /// The AXI4 maximum number of beats in one `INCR` burst.
 pub const MAX_INCR_BEATS: u64 = 256;

@@ -35,28 +35,91 @@ use crate::{BOUNDARY_4K, MAX_INCR_BEATS};
 /// ```
 #[must_use]
 pub fn split_transfer(addr: u64, len: u64, beat_bytes: u64) -> Vec<Burst> {
-    assert!(
-        (1..=128).contains(&beat_bytes) && beat_bytes.is_power_of_two(),
-        "invalid bus width"
-    );
-    let mut bursts = Vec::new();
-    let mut cur = addr;
-    let mut remaining = len;
-    while remaining > 0 {
-        // Limit 1: do not cross the next 4 KiB boundary.
-        let to_boundary = BOUNDARY_4K - cur % BOUNDARY_4K;
-        // Limit 2: at most 256 beats, accounting for a misaligned start.
-        let offset = cur % beat_bytes;
-        let max_burst_payload = MAX_INCR_BEATS * beat_bytes - offset;
-        let chunk = remaining.min(to_boundary).min(max_burst_payload);
-        let burst =
-            Burst::incr_covering(cur, chunk, beat_bytes).expect("split produced a legal burst");
-        debug_assert!(!burst.crosses_4k_boundary());
-        bursts.push(burst);
-        cur += chunk;
-        remaining -= chunk;
+    SplitCursor::new(addr, len, beat_bytes).collect()
+}
+
+/// An allocation-free, incremental [`split_transfer`]: yields the exact
+/// same burst sequence one at a time, so a DMA model can hold the split
+/// *state* (three words) in its in-flight transaction record instead of
+/// materializing a `Vec<Burst>` per transfer on the hot path.
+///
+/// The split is greedy and position-local — each burst depends only on the
+/// current address and remaining length — which is what makes the
+/// incremental form bit-identical to the batch one (pinned by a property
+/// test in `tests/properties.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use axi::split::{split_transfer, SplitCursor};
+///
+/// let cursor = SplitCursor::new(0x1F80, 256, 8);
+/// assert_eq!(cursor.collect::<Vec<_>>(), split_transfer(0x1F80, 256, 8));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SplitCursor {
+    cur: u64,
+    remaining: u64,
+    beat_bytes: u64,
+}
+
+impl SplitCursor {
+    /// Starts a split of `len` bytes at `addr` on a `beat_bytes`-wide bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid bus width, exactly like [`split_transfer`].
+    #[must_use]
+    pub fn new(addr: u64, len: u64, beat_bytes: u64) -> Self {
+        assert!(
+            (1..=128).contains(&beat_bytes) && beat_bytes.is_power_of_two(),
+            "invalid bus width"
+        );
+        Self {
+            cur: addr,
+            remaining: len,
+            beat_bytes,
+        }
     }
-    bursts
+
+    /// A cursor that yields no bursts (the idle leg of a one-sided
+    /// transfer).
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self {
+            cur: 0,
+            remaining: 0,
+            beat_bytes: 1,
+        }
+    }
+
+    /// Whether every burst has been yielded.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl Iterator for SplitCursor {
+    type Item = Burst;
+
+    fn next(&mut self) -> Option<Burst> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Limit 1: do not cross the next 4 KiB boundary.
+        let to_boundary = BOUNDARY_4K - self.cur % BOUNDARY_4K;
+        // Limit 2: at most 256 beats, accounting for a misaligned start.
+        let offset = self.cur % self.beat_bytes;
+        let max_burst_payload = MAX_INCR_BEATS * self.beat_bytes - offset;
+        let chunk = self.remaining.min(to_boundary).min(max_burst_payload);
+        let burst = Burst::incr_covering(self.cur, chunk, self.beat_bytes)
+            .expect("split produced a legal burst");
+        debug_assert!(!burst.crosses_4k_boundary());
+        self.cur += chunk;
+        self.remaining -= chunk;
+        Some(burst)
+    }
 }
 
 /// Splits a transfer with an additional user-imposed cap on the bytes per

@@ -1,7 +1,7 @@
 //! Property-based tests for the AXI protocol model.
 
 use axi::check::check_burst_sequence;
-use axi::split::{split_transfer, split_transfer_capped, transfer_beats};
+use axi::split::{split_transfer, split_transfer_capped, transfer_beats, SplitCursor};
 use axi::{AddressMap, Burst, BurstType};
 use proptest::prelude::*;
 
@@ -52,6 +52,34 @@ proptest! {
         // one extra beat per burst.
         let n = split_transfer(addr, len, bb).len() as u64;
         prop_assert!(exact <= lower + n);
+    }
+
+    /// The incremental cursor is position-local: after consuming any
+    /// prefix of bursts, a *fresh* cursor started at the consumed-up-to
+    /// address with the remaining length yields exactly the suffix. This
+    /// is the property that lets a DMA engine keep split state as three
+    /// words in its in-flight record and still be bit-identical to
+    /// materializing the whole `Vec<Burst>` up front.
+    #[test]
+    fn split_cursor_is_position_local(
+        addr in 0u64..0x1_0000_0000,
+        len in 0u64..200_000,
+        bb in bus_widths(),
+        prefix in 0usize..64,
+    ) {
+        let batch = split_transfer(addr, len, bb);
+        let mut cursor = SplitCursor::new(addr, len, bb);
+        let k = prefix.min(batch.len());
+        let mut consumed_bytes = 0;
+        for expected in batch.iter().take(k) {
+            prop_assert!(!cursor.is_done());
+            let got = cursor.next().expect("cursor yields the whole batch");
+            prop_assert_eq!(&got, expected);
+            consumed_bytes += got.payload_bytes();
+        }
+        let restarted = SplitCursor::new(addr + consumed_bytes, len - consumed_bytes, bb);
+        prop_assert_eq!(restarted.collect::<Vec<_>>(), batch[k..].to_vec());
+        prop_assert_eq!(cursor.is_done(), k == batch.len());
     }
 
     /// Every beat address of an INCR burst stays within the burst's span and

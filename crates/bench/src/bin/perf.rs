@@ -3,60 +3,22 @@
 //! saturated operating point.
 //!
 //! This measures the *simulator*, not the simulated NoC: wall-clock
-//! cycles/sec (`SimReport::cycles_per_sec`) plus the deterministic
-//! scheduler work counter (links/buffers refreshed + components stepped).
-//! Both modes must produce bit-identical simulation reports — the binary
-//! exits non-zero if they ever diverge. Emits `BENCH_perf.json` via
-//! `--json` so CI tracks the engine-speed trajectory alongside the
-//! simulated results.
+//! cycles/sec (`SimReport::cycles_per_sec`), the deterministic scheduler
+//! work counter (links/buffers refreshed + components stepped), and the
+//! slab-arena allocation telemetry (`slab_high_water`,
+//! `allocs_per_kilocycle` — see `simkit::slab`). Both modes must produce
+//! bit-identical simulation reports, and every point's allocation
+//! telemetry must be present and non-zero — the binary exits non-zero on
+//! either violation. Emits `BENCH_perf.json` via `--json` so CI tracks
+//! the engine-speed trajectory alongside the simulated results.
 //!
 //! Points run *serially* regardless of `--jobs`: parallel workers would
 //! contend for cores and corrupt the wall-clock comparison.
 
 use bench::defaults::{WARMUP, WINDOW};
 use bench::json::Json;
+use bench::perf::{mode_json, run_packet, run_patronoc, telemetry_is_live, Runner};
 use bench::sweep::SweepOptions;
-use bench::{noxim_uniform_scenario, patronoc_uniform_scenario};
-use scenario::PacketProfile;
-use simkit::SimReport;
-
-/// Fixed seed of the perf points (the workload is not the variable here).
-const PERF_SEED: u64 = 0xBE2F;
-
-/// Everything one (engine, load, mode) run yields.
-struct ModeResult {
-    report: SimReport,
-    work_items: u64,
-}
-
-/// A point runner: `(load, window, warmup, full_sweep) → result`.
-type Runner = fn(f64, u64, u64, bool) -> ModeResult;
-
-fn run_patronoc(load: f64, window: u64, warmup: u64, full_sweep: bool) -> ModeResult {
-    let sc = patronoc_uniform_scenario(32, load, 1_000, window, warmup, PERF_SEED);
-    let mut cfg = sc.noc_config().expect("valid perf scenario");
-    cfg.full_sweep = full_sweep;
-    let mut sim = patronoc::NocSim::new(cfg).expect("valid configuration");
-    let mut src = sc.build_source();
-    let report = sim.run(&mut *src, warmup + window, warmup);
-    ModeResult {
-        report,
-        work_items: sim.work_items(),
-    }
-}
-
-fn run_packet(load: f64, window: u64, warmup: u64, full_sweep: bool) -> ModeResult {
-    let sc = noxim_uniform_scenario(PacketProfile::Compact, load, 100, window, warmup, PERF_SEED);
-    let mut cfg = PacketProfile::Compact.base_config();
-    cfg.full_sweep = full_sweep;
-    let mut sim = packetnoc::PacketNocSim::new(cfg);
-    let mut src = sc.build_source();
-    let report = sim.run(&mut *src, warmup + window, warmup);
-    ModeResult {
-        report,
-        work_items: sim.work_items(),
-    }
-}
 
 fn main() {
     let opts = SweepOptions::parse("PERF_QUICK");
@@ -72,8 +34,15 @@ fn main() {
     println!("simulator performance: activity-driven vs full-sweep stepping");
     println!("window {window} cycles, warmup {warmup} cycles");
     println!(
-        "{:>16} {:>8} {:>14} {:>14} {:>9} {:>10}",
-        "engine", "load", "active cyc/s", "full cyc/s", "speedup", "work ratio"
+        "{:>16} {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>12}",
+        "engine",
+        "load",
+        "active cyc/s",
+        "full cyc/s",
+        "speedup",
+        "work ratio",
+        "slab high",
+        "allocs/kcyc"
     );
     // Best-of-N wall clock per mode: each repetition is a fresh engine on
     // the identical workload, so the reports must agree bit for bit and
@@ -94,31 +63,34 @@ fn main() {
     };
     let mut points = Vec::new();
     let mut all_identical = true;
+    let mut all_telemetry_live = true;
     for (name, runner) in engines {
         for &load in &loads {
             let full = best_of(runner, load, true);
             let active = best_of(runner, load, false);
             let identical = active.report == full.report;
             all_identical &= identical;
+            let telemetry_live = telemetry_is_live(&active) && telemetry_is_live(&full);
+            all_telemetry_live &= telemetry_live;
             let speedup = active.report.cycles_per_sec / full.report.cycles_per_sec;
             let work_ratio = full.work_items as f64 / active.work_items as f64;
             println!(
-                "{:>16} {:>8.3} {:>14.0} {:>14.0} {:>8.1}x {:>9.1}x{}",
+                "{:>16} {:>8.3} {:>14.0} {:>14.0} {:>8.1}x {:>9.1}x {:>10} {:>12.2}{}{}",
                 name,
                 load,
                 active.report.cycles_per_sec,
                 full.report.cycles_per_sec,
                 speedup,
                 work_ratio,
-                if identical { "" } else { "  RESULTS DIVERGED" }
+                active.report.slab_high_water,
+                active.report.allocs_per_kilocycle,
+                if identical { "" } else { "  RESULTS DIVERGED" },
+                if telemetry_live {
+                    ""
+                } else {
+                    "  TELEMETRY DEAD"
+                }
             );
-            let mode_json = |m: &ModeResult| {
-                Json::obj(vec![
-                    ("gib_s", Json::F64(m.report.throughput_gib_s)),
-                    ("cycles_per_sec", Json::F64(m.report.cycles_per_sec)),
-                    ("work_items", Json::U64(m.work_items)),
-                ])
-            };
             points.push(Json::obj(vec![
                 ("engine", Json::str(name)),
                 ("load", Json::F64(load)),
@@ -141,6 +113,10 @@ fn main() {
 
     if !all_identical {
         eprintln!("error: active-set stepping diverged from the full sweep");
+        std::process::exit(1);
+    }
+    if !all_telemetry_live {
+        eprintln!("error: slab-allocation telemetry missing or zero in a perf point");
         std::process::exit(1);
     }
 }

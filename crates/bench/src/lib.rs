@@ -15,6 +15,7 @@ use simkit::StopReason;
 use traffic::{DnnWorkload, SyntheticPattern};
 
 pub mod json;
+pub mod perf;
 pub mod sweep;
 
 pub mod defaults {

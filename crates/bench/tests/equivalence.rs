@@ -320,3 +320,326 @@ fn active_stepping_saves_work_at_low_injection_on_both_engines() {
         "patronoc saturated: active {active_work} vs full {full_work}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Slab-arena golden pinning: the slab-backed engines must reproduce the
+// **pre-refactor** reports bit for bit. The values below were captured from
+// the tree as of PR 4 (commit 1f45746, before any slab existed) by running
+// this exact grid -- both engines x {uniform, synthetic, dnn} x {idle, mid,
+// saturated} -- and recording every determinism-contract field of the
+// resulting `SimReport`s (floats as raw bits). Any divergence means the
+// arena refactor changed observable simulation behaviour.
+// ---------------------------------------------------------------------------
+
+/// The determinism-contract fields, floats as raw bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Golden {
+    cycles: u64,
+    payload_bytes: u64,
+    transfers_completed: u64,
+    p99_latency: u64,
+    throughput_bits: u64,
+    mean_latency_bits: u64,
+}
+
+impl Golden {
+    fn of(r: &SimReport) -> Self {
+        Self {
+            cycles: r.cycles,
+            payload_bytes: r.payload_bytes,
+            transfers_completed: r.transfers_completed,
+            p99_latency: r.p99_latency,
+            throughput_bits: r.throughput_gib_s.to_bits(),
+            mean_latency_bits: r.mean_latency.to_bits(),
+        }
+    }
+}
+
+fn golden_uniform_cfg(load: f64, max_transfer: u64, seed: u64) -> UniformConfig {
+    UniformConfig {
+        masters: 16,
+        slaves: (0..16).collect(),
+        load,
+        bytes_per_cycle: 4.0,
+        max_transfer,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed,
+    }
+}
+
+fn synthetic_cfg(load: f64) -> SyntheticConfig {
+    SyntheticConfig {
+        cols: 4,
+        rows: 4,
+        pattern: SyntheticPattern::AllGlobal,
+        load,
+        bytes_per_cycle: 4.0,
+        max_transfer: 10_000,
+        read_fraction: 0.5,
+        region_size: 1 << 24,
+        seed: defaults::fig6_seed(10_000),
+    }
+}
+
+/// Idle / mid / saturated operating points.
+const LOADS: [f64; 3] = [0.001, 0.3, 1.0];
+
+fn run_patronoc_uniform(load: f64, i: usize) -> Golden {
+    let axi = AxiParams::new(32, 32, 4, 8).expect("valid parameters");
+    let cfg = NocConfig::new(axi, Topology::mesh4x4());
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let mut src = UniformRandom::new_copies(golden_uniform_cfg(
+        load,
+        1_000,
+        defaults::fig4_patronoc_seed(1_000, i),
+    ));
+    Golden::of(&sim.run(&mut src, WARMUP + WINDOW, WARMUP))
+}
+
+fn run_patronoc_synthetic(load: f64) -> Golden {
+    let axi = AxiParams::new(32, 32, 4, 8).expect("valid parameters");
+    let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
+    cfg.slaves = SyntheticPattern::AllGlobal.slave_nodes(4, 4);
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let mut src = SyntheticTraffic::new(synthetic_cfg(load));
+    Golden::of(&sim.run(&mut src, WARMUP + WINDOW, WARMUP))
+}
+
+fn run_patronoc_dnn(workload: DnnWorkload) -> Golden {
+    let axi = AxiParams::new(32, 512, 4, 8).expect("valid parameters");
+    let cfg = NocConfig::new(axi, Topology::mesh4x4());
+    let mut sim = NocSim::new(cfg).expect("valid configuration");
+    let dnn_cfg = DnnConfig {
+        steps: 1,
+        ..DnnConfig::for_workload(workload)
+    };
+    let mut src = DnnTraffic::new(&dnn_cfg);
+    Golden::of(&sim.run(&mut src, 500_000_000, 0))
+}
+
+fn run_packet_uniform(load: f64) -> Golden {
+    let mut sim = PacketNocSim::new(PacketNocConfig::noxim_compact());
+    let mut src = UniformRandom::new(golden_uniform_cfg(load, 100, 77));
+    Golden::of(&sim.run(&mut src, WARMUP + WINDOW, WARMUP))
+}
+
+fn run_packet_synthetic(load: f64) -> Golden {
+    let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+    let mut src = SyntheticTraffic::new(synthetic_cfg(load));
+    Golden::of(&sim.run(&mut src, WARMUP + WINDOW, WARMUP))
+}
+
+fn run_packet_dnn(workload: DnnWorkload) -> Golden {
+    let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+    let dnn_cfg = DnnConfig {
+        steps: 1,
+        ..DnnConfig::for_workload(workload)
+    };
+    let mut src = DnnTraffic::new(&dnn_cfg);
+    Golden::of(&sim.run(&mut src, 300_000, 0))
+}
+
+const fn golden(
+    cycles: u64,
+    payload_bytes: u64,
+    transfers_completed: u64,
+    p99_latency: u64,
+    throughput_bits: u64,
+    mean_latency_bits: u64,
+) -> Golden {
+    Golden {
+        cycles,
+        payload_bytes,
+        transfers_completed,
+        p99_latency,
+        throughput_bits,
+        mean_latency_bits,
+    }
+}
+
+#[test]
+fn patronoc_uniform_matches_pre_refactor_reports() {
+    let expected = [
+        golden(12000, 1199, 3, 256, 0x3fbc961d80000000, 0x405faaaaaaaaaaab),
+        golden(
+            12000,
+            180200,
+            421,
+            1024,
+            0x4030c84d84000000,
+            0x407392a90b8dae85,
+        ),
+        golden(
+            12000,
+            201192,
+            493,
+            2048,
+            0x4032bcca84000000,
+            0x40778fa49bc7eb3b,
+        ),
+    ];
+    for (i, &load) in LOADS.iter().enumerate() {
+        assert_eq!(
+            run_patronoc_uniform(load, i),
+            expected[i],
+            "patronoc uniform diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn patronoc_synthetic_matches_pre_refactor_reports() {
+    let expected = [
+        golden(12000, 0, 0, 0, 0x0, 0x0),
+        golden(
+            12000,
+            79946,
+            14,
+            16384,
+            0x401dc83ea4000000,
+            0x40b2a28000000000,
+        ),
+        golden(
+            12000,
+            79943,
+            18,
+            16384,
+            0x401dc7f566000000,
+            0x40b4d90000000000,
+        ),
+    ];
+    for (i, &load) in LOADS.iter().enumerate() {
+        assert_eq!(
+            run_patronoc_synthetic(load),
+            expected[i],
+            "patronoc synthetic diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn patronoc_dnn_matches_pre_refactor_reports() {
+    let expected = [
+        golden(
+            179010,
+            18783648,
+            1584,
+            16384,
+            0x40586e5bb4ea3f95,
+            0x40979e4676f3121a,
+        ),
+        golden(
+            73977,
+            5010000,
+            1632,
+            4096,
+            0x404f894ce451ee7f,
+            0x408147d7d7d7d7d8,
+        ),
+        golden(
+            5432,
+            1373480,
+            136,
+            512,
+            0x406d6f82b8c7723d,
+            0x4065e52d2d2d2d2d,
+        ),
+    ];
+    for (w, exp) in DnnWorkload::all().into_iter().zip(expected) {
+        assert_eq!(run_patronoc_dnn(w), exp, "patronoc dnn diverged for {w:?}");
+    }
+}
+
+#[test]
+fn packet_uniform_matches_pre_refactor_reports() {
+    let expected = [
+        golden(12000, 1152, 21, 64, 0x3fbb774000000000, 0x40266d79435e50d8),
+        golden(
+            12000,
+            32522,
+            754,
+            256,
+            0x40083b1448000000,
+            0x40419c3c2ff77209,
+        ),
+        golden(
+            12000,
+            33826,
+            780,
+            256,
+            0x400933cc28000000,
+            0x4040f546a8706c7e,
+        ),
+    ];
+    for (i, &load) in LOADS.iter().enumerate() {
+        assert_eq!(
+            run_packet_uniform(load),
+            expected[i],
+            "packet uniform diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn packet_synthetic_matches_pre_refactor_reports() {
+    let expected = [
+        golden(12000, 0, 0, 0, 0x0, 0x0),
+        golden(
+            12000,
+            5000,
+            0,
+            16384,
+            0x3fddcd6500000000,
+            0x40a15026d45c175e,
+        ),
+        golden(
+            12000,
+            5000,
+            0,
+            16384,
+            0x3fddcd6500000000,
+            0x40a2c2939b4ff7c8,
+        ),
+    ];
+    for (i, &load) in LOADS.iter().enumerate() {
+        assert_eq!(
+            run_packet_synthetic(load),
+            expected[i],
+            "packet synthetic diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn packet_dnn_matches_pre_refactor_reports() {
+    let expected = [
+        golden(
+            300000,
+            150008,
+            0,
+            32768,
+            0x3fddcdcd2aaaaaaa,
+            0x40af4382eb215ce1,
+        ),
+        golden(
+            300000,
+            150000,
+            47,
+            32768,
+            0x3fddcd6500000000,
+            0x40ab8e074e02a998,
+        ),
+        golden(
+            300000,
+            1022056,
+            118,
+            1024,
+            0x4009620e9aaaaaab,
+            0x4054e5c7940247b0,
+        ),
+    ];
+    for (w, exp) in DnnWorkload::all().into_iter().zip(expected) {
+        assert_eq!(run_packet_dnn(w), exp, "packet dnn diverged for {w:?}");
+    }
+}

@@ -11,9 +11,12 @@
 use crate::config::PacketNocConfig;
 use crate::ni::NetworkInterface;
 use crate::router::{Flit, FlitKind, Port, Router, LOCAL, PORTS};
+use crate::txn::TxRecord;
 use simkit::sched::ActiveSet;
-use simkit::{Cycle, Fifo, Histogram, SimReport, StopReason, ThroughputMeter};
-use std::collections::HashMap;
+use simkit::slab::SlabStats;
+use simkit::{
+    Cycle, Fifo, Histogram, ProgressWatchdog, SimReport, Slab, StopReason, ThroughputMeter,
+};
 
 use traffic::TrafficSource;
 
@@ -24,8 +27,10 @@ pub struct PacketNocSim {
     routers: Vec<Router>,
     bufs: Vec<Fifo<Flit>>,
     nis: Vec<NetworkInterface>,
-    /// (src, transfer id) → packets still in flight.
-    inflight: HashMap<(usize, u64), u64>,
+    /// Arena of every in-flight transfer: allocated at injection
+    /// ([`poll_stimulus`](Self::poll_stimulus)), its handle carried by
+    /// every flit of the transfer, freed when the last tail delivers.
+    txs: Slab<TxRecord>,
     now: Cycle,
     meter: ThroughputMeter,
     packets_delivered: u64,
@@ -89,7 +94,7 @@ impl PacketNocSim {
             routers,
             bufs,
             nis,
-            inflight: HashMap::new(),
+            txs: Slab::new(),
             now: 0,
             meter: ThroughputMeter::new(0),
             packets_delivered: 0,
@@ -170,23 +175,20 @@ impl PacketNocSim {
         self.begin_measurement(self.now + warmup);
         let deadline = self.now + max_cycles;
         self.stop_reason = StopReason::Budget;
-        let mut last_progress = (self.now, self.progress_marker());
+        let mut watchdog = ProgressWatchdog::new(self.now, self.progress_marker());
         let wall_start = std::time::Instant::now();
         let first_cycle = self.now;
         while self.now < deadline {
             self.step(source);
-            let marker = self.progress_marker();
-            if marker != last_progress.1 {
-                last_progress = (self.now, marker);
-            } else if self.now - last_progress.0 > 100_000 {
+            if let Some(since) = watchdog.observe(self.now, self.progress_marker()) {
                 if self.is_drained() {
                     // Not a stall: merely idle between sparse arrivals.
-                    last_progress = (self.now, marker);
+                    watchdog.excuse(self.now);
                     continue;
                 }
                 panic!(
                     "deadlock: no progress since cycle {} (now {}), {} packets delivered",
-                    last_progress.0, self.now, self.packets_delivered
+                    since, self.now, self.packets_delivered
                 );
             }
             if source.is_done() && self.is_drained() {
@@ -218,6 +220,7 @@ impl PacketNocSim {
     /// [`run`](Self::run) returns exactly this after its loop exits.
     #[must_use]
     pub fn snapshot_report(&self) -> SimReport {
+        let slab = self.allocation_stats();
         SimReport {
             cycles: self.now,
             payload_bytes: self.meter.bytes(),
@@ -232,13 +235,23 @@ impl PacketNocSim {
             } else {
                 0.0
             },
+            slab_high_water: slab.high_water,
+            allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
         }
     }
 
     /// Whether no packet is in flight and all NIs are idle.
     #[must_use]
     pub fn is_drained(&self) -> bool {
-        self.inflight.is_empty() && self.nis.iter().all(NetworkInterface::is_idle)
+        self.txs.is_empty() && self.nis.iter().all(NetworkInterface::is_idle)
+    }
+
+    /// Telemetry of the in-flight-transfer arena — what
+    /// [`SimReport::slab_high_water`] and
+    /// [`SimReport::allocs_per_kilocycle`] are derived from.
+    #[must_use]
+    pub fn allocation_stats(&self) -> SlabStats {
+        self.txs.stats()
     }
 
     /// Cumulative scheduler work: buffer refreshes plus NI/router steps,
@@ -279,8 +292,11 @@ impl PacketNocSim {
                 let Some(t) = source.poll(node, self.now) else {
                     break;
                 };
-                let packets = self.nis[node].enqueue(t);
-                self.inflight.insert((node, t.id), packets);
+                // The transaction's single allocation: one arena record,
+                // carried by handle in every flit until retirement.
+                let packets = self.nis[node].packets_for(t.bytes);
+                let h = self.txs.alloc(TxRecord::new(node, t, packets));
+                self.nis[node].enqueue(&mut self.txs, h);
                 wake(node);
             }
         }
@@ -294,16 +310,13 @@ impl PacketNocSim {
         if f.kind == FlitKind::Tail {
             self.packets_delivered += 1;
             self.latency.record(self.now.saturating_sub(f.injected_at));
-            let key = (f.src, f.transfer);
-            let left = self
-                .inflight
-                .get_mut(&key)
-                .expect("tail of a tracked transfer");
-            *left -= 1;
-            if *left == 0 {
-                self.inflight.remove(&key);
+            let tx = &mut self.txs[f.tx];
+            tx.undelivered -= 1;
+            if tx.undelivered == 0 {
+                // Retirement: the last tail frees the arena record.
+                let tx = self.txs.free(f.tx);
                 self.transfers_completed += 1;
-                completions.push(key);
+                completions.push((tx.src, tx.transfer.id));
             }
         }
     }
@@ -326,7 +339,7 @@ impl PacketNocSim {
         for node in 0..self.cfg.num_nodes() {
             let bufs = &mut self.bufs;
             let now = self.now;
-            self.nis[node].step(now, vcs, |vc, flit| {
+            self.nis[node].step(now, vcs, &mut self.txs, |vc, flit| {
                 let idx = Router::buf_index(node, LOCAL, vc, vcs);
                 bufs[idx].push(flit).is_ok()
             });
@@ -433,7 +446,7 @@ impl PacketNocSim {
             let bufs = &mut self.bufs;
             let hot_bufs = &mut self.hot_bufs;
             let now = self.now;
-            self.nis[node].step(now, vcs, |vc, flit| {
+            self.nis[node].step(now, vcs, &mut self.txs, |vc, flit| {
                 let idx = Router::buf_index(node, LOCAL, vc, vcs);
                 let accepted = bufs[idx].push(flit).is_ok();
                 if accepted {
@@ -749,6 +762,18 @@ mod tests {
         let report = sim.run(&mut OffMesh(false), 100_000, 0);
         assert_eq!(report.transfers_completed, 0);
         assert!(!sim.is_drained(), "the wedged flits are still in flight");
+    }
+
+    #[test]
+    fn report_carries_slab_telemetry() {
+        let mut sim = PacketNocSim::new(PacketNocConfig::noxim_compact());
+        let mut src = OneEach::new(16, 100);
+        let report = sim.run(&mut src, 1_000_000, 0);
+        let stats = sim.allocation_stats();
+        assert_eq!(stats.live, 0, "every record retired on drain");
+        assert_eq!(stats.allocs, 16, "exactly one allocation per transfer");
+        assert!(report.slab_high_water >= 1);
+        assert!(report.allocs_per_kilocycle > 0.0);
     }
 
     #[test]

@@ -46,8 +46,10 @@ pub mod config;
 pub mod engine;
 pub mod ni;
 pub mod router;
+pub mod txn;
 
 pub use config::PacketNocConfig;
 pub use engine::PacketNocSim;
 pub use router::{Flit, FlitKind};
 pub use simkit::{SimReport, StopReason};
+pub use txn::{TxHandle, TxRecord};

@@ -6,19 +6,16 @@
 //! transfer into fixed-length packets (`packet_flits` flits carrying
 //! `payload_per_packet` useful bytes each) and serializes them onto the
 //! 32-bit local link one flit per cycle.
+//!
+//! In-flight transfers live in the engine-owned [`Slab`] arena
+//! ([`TxRecord`]): the NI's transmit queue is an intrusive
+//! [`HandleQueue`] over that arena, and every emitted flit carries the
+//! record's handle — no owned heap queue, no per-packet map updates.
 
 use crate::config::PacketNocConfig;
 use crate::router::{Flit, FlitKind};
-use simkit::Cycle;
-use std::collections::VecDeque;
-use traffic::Transfer;
-
-/// A transfer queued at the NI with its packetization progress.
-#[derive(Debug, Clone)]
-struct TxTransfer {
-    transfer: Transfer,
-    packets_left: u64,
-}
+use crate::txn::{TxHandle, TxRecord};
+use simkit::{Cycle, HandleQueue, Slab};
 
 /// Per-node network interface (transmit side; receive is a sink handled by
 /// the engine).
@@ -27,11 +24,11 @@ pub struct NetworkInterface {
     node: usize,
     packet_flits: u16,
     payload_per_packet: u32,
-    queue: VecDeque<TxTransfer>,
+    queue: HandleQueue<TxRecord>,
     /// Flits of the packet currently being serialized.
     emit_left: u16,
     emit_dst: usize,
-    emit_transfer: u64,
+    emit_tx: Option<TxHandle>,
     emit_payload: u32,
     emit_started: Cycle,
     /// Round-robin VC pointer for injection.
@@ -47,10 +44,10 @@ impl NetworkInterface {
             node,
             packet_flits: cfg.packet_flits,
             payload_per_packet: cfg.payload_per_packet,
-            queue: VecDeque::new(),
+            queue: HandleQueue::new(),
             emit_left: 0,
             emit_dst: 0,
-            emit_transfer: 0,
+            emit_tx: None,
             emit_payload: 0,
             emit_started: 0,
             next_vc: 0,
@@ -70,15 +67,11 @@ impl NetworkInterface {
         bytes.div_ceil(u64::from(self.payload_per_packet)).max(1)
     }
 
-    /// Queues a transfer for transmission; returns the number of packets it
-    /// will become (the engine tracks delivery completion).
-    pub fn enqueue(&mut self, transfer: Transfer) -> u64 {
-        let packets = self.packets_for(transfer.bytes);
-        self.queue.push_back(TxTransfer {
-            transfer,
-            packets_left: packets,
-        });
-        packets
+    /// Queues an in-flight record (already allocated in `txs` by the
+    /// engine, with its packet counts set from
+    /// [`packets_for`](Self::packets_for)) for transmission.
+    pub fn enqueue(&mut self, txs: &mut Slab<TxRecord>, h: TxHandle) {
+        self.queue.push_back(txs, h);
     }
 
     /// Whether the NI has nothing queued or mid-emission.
@@ -103,29 +96,36 @@ impl NetworkInterface {
     /// Emits at most one flit this cycle. `try_push` attempts to inject a
     /// flit on the local port of this node's router for a given VC and
     /// returns whether it was accepted.
-    pub fn step<F: FnMut(usize, Flit) -> bool>(&mut self, now: Cycle, vcs: usize, mut try_push: F) {
+    pub fn step<F: FnMut(usize, Flit) -> bool>(
+        &mut self,
+        now: Cycle,
+        vcs: usize,
+        txs: &mut Slab<TxRecord>,
+        mut try_push: F,
+    ) {
         // Start the next packet if idle.
         if self.emit_left == 0 {
             let ppp = u64::from(self.payload_per_packet);
-            let Some(tx) = self.queue.front_mut() else {
+            let Some(h) = self.queue.front(txs) else {
                 return;
             };
+            let tx = &mut txs[h];
             // Payload accounted to this packet (last packet may be short).
             let total_packets = tx.transfer.bytes.div_ceil(ppp).max(1);
-            let done = total_packets - tx.packets_left;
+            let done = total_packets - tx.to_send;
             let sent_bytes = done * u64::from(self.payload_per_packet);
             let payload =
                 (tx.transfer.bytes - sent_bytes).min(u64::from(self.payload_per_packet)) as u32;
             self.emit_left = self.packet_flits;
             self.emit_dst = tx.transfer.dst;
-            self.emit_transfer = tx.transfer.id;
+            self.emit_tx = Some(h);
             self.emit_payload = payload;
             self.emit_started = now;
             // Pick the next VC round-robin per packet.
             self.next_vc = (self.next_vc + 1) % vcs;
-            tx.packets_left -= 1;
-            if tx.packets_left == 0 {
-                self.queue.pop_front();
+            tx.to_send -= 1;
+            if tx.to_send == 0 {
+                self.queue.pop_front(txs);
             }
         }
         // Serialize one flit.
@@ -140,7 +140,7 @@ impl NetworkInterface {
             kind,
             src: self.node,
             dst: self.emit_dst,
-            transfer: self.emit_transfer,
+            tx: self.emit_tx.expect("mid-packet emission has a record"),
             payload: if kind == FlitKind::Head {
                 self.emit_payload
             } else {
@@ -160,7 +160,7 @@ impl NetworkInterface {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use traffic::TransferKind;
+    use traffic::{Transfer, TransferKind};
 
     fn transfer(bytes: u64) -> Transfer {
         Transfer {
@@ -176,6 +176,13 @@ mod tests {
         NetworkInterface::new(0, &PacketNocConfig::noxim_compact())
     }
 
+    /// What the engine does at injection: one arena record per transfer.
+    fn enqueue(n: &mut NetworkInterface, txs: &mut Slab<TxRecord>, t: Transfer) {
+        let packets = n.packets_for(t.bytes);
+        let h = txs.alloc(TxRecord::new(n.node(), t, packets));
+        n.enqueue(txs, h);
+    }
+
     #[test]
     fn packet_count_rounds_up() {
         let n = ni();
@@ -188,10 +195,11 @@ mod tests {
     #[test]
     fn serializes_full_packets() {
         let mut n = ni();
-        n.enqueue(transfer(8)); // 2 packets of 8 flits each
+        let mut txs = Slab::new();
+        enqueue(&mut n, &mut txs, transfer(8)); // 2 packets of 8 flits each
         let mut flits = Vec::new();
         for now in 0..40 {
-            n.step(now, 1, |_vc, f| {
+            n.step(now, 1, &mut txs, |_vc, f| {
                 flits.push(f);
                 true
             });
@@ -204,15 +212,18 @@ mod tests {
         let payload: u32 = flits.iter().map(|f| f.payload).sum();
         assert_eq!(payload, 8);
         assert!(n.is_idle());
+        // Every flit carries the handle of the one record.
+        assert!(flits.windows(2).all(|w| w[0].tx == w[1].tx));
     }
 
     #[test]
     fn short_last_packet_accounts_partial_payload() {
         let mut n = ni();
-        n.enqueue(transfer(6)); // 4 + 2 bytes
+        let mut txs = Slab::new();
+        enqueue(&mut n, &mut txs, transfer(6)); // 4 + 2 bytes
         let mut heads = Vec::new();
         for now in 0..40 {
-            n.step(now, 1, |_vc, f| {
+            n.step(now, 1, &mut txs, |_vc, f| {
                 if f.kind == FlitKind::Head {
                     heads.push(f.payload);
                 }
@@ -225,10 +236,11 @@ mod tests {
     #[test]
     fn rejected_flits_are_retried() {
         let mut n = ni();
-        n.enqueue(transfer(4));
+        let mut txs = Slab::new();
+        enqueue(&mut n, &mut txs, transfer(4));
         let mut accepted = 0;
         for now in 0..100 {
-            n.step(now, 1, |_vc, _f| {
+            n.step(now, 1, &mut txs, |_vc, _f| {
                 // Accept every third attempt only.
                 if now % 3 == 0 {
                     accepted += 1;
@@ -245,10 +257,11 @@ mod tests {
     #[test]
     fn vc_rotates_per_packet() {
         let mut n = ni();
-        n.enqueue(transfer(12)); // 3 packets
+        let mut txs = Slab::new();
+        enqueue(&mut n, &mut txs, transfer(12)); // 3 packets
         let mut vcs_seen = Vec::new();
         for now in 0..40 {
-            n.step(now, 4, |vc, f| {
+            n.step(now, 4, &mut txs, |vc, f| {
                 if f.kind == FlitKind::Head {
                     vcs_seen.push(vc);
                 }

@@ -6,6 +6,7 @@
 //! (modelled by pushing directly into the downstream input buffer, whose
 //! two-phase occupancy *is* the credit count).
 
+use crate::txn::TxHandle;
 use simkit::{Fifo, RoundRobinArbiter};
 
 /// Flit position within its packet.
@@ -28,8 +29,11 @@ pub struct Flit {
     pub src: usize,
     /// Destination node.
     pub dst: usize,
-    /// Transfer this packet belongs to (for completion tracking).
-    pub transfer: u64,
+    /// Handle of the slab-resident [`TxRecord`](crate::txn::TxRecord) this
+    /// packet belongs to — the transaction flows through the mesh by
+    /// handle, so tail delivery retires it with a direct arena access
+    /// instead of a hash lookup.
+    pub tx: TxHandle,
     /// Payload bytes accounted to this packet (head flit only; 0 otherwise).
     pub payload: u32,
     /// Cycle the packet was injected (head flit; latency statistics).
@@ -248,6 +252,26 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::txn::TxRecord;
+    use simkit::Slab;
+    use traffic::{Transfer, TransferKind};
+
+    /// Allocates a one-packet transfer record so the test flits carry a
+    /// live handle; distinct handles distinguish packets where the old
+    /// tests compared raw transfer ids.
+    fn new_tx(arena: &mut Slab<TxRecord>, dst: usize) -> TxHandle {
+        arena.alloc(TxRecord::new(
+            0,
+            Transfer {
+                id: 1,
+                dst,
+                offset: 0,
+                bytes: 4,
+                kind: TransferKind::Write,
+            },
+            1,
+        ))
+    }
 
     #[test]
     fn xy_route_reaches_destination() {
@@ -280,21 +304,21 @@ mod tests {
         (0..nodes * PORTS * vcs).map(|_| Fifo::new(depth)).collect()
     }
 
-    fn head(dst: usize) -> Flit {
+    fn head(dst: usize, tx: TxHandle) -> Flit {
         Flit {
             kind: FlitKind::Head,
             src: 0,
             dst,
-            transfer: 1,
+            tx,
             payload: 4,
             injected_at: 0,
         }
     }
 
-    fn tail(dst: usize) -> Flit {
+    fn tail(dst: usize, tx: TxHandle) -> Flit {
         Flit {
             kind: FlitKind::Tail,
-            ..head(dst)
+            ..head(dst, tx)
         }
     }
 
@@ -310,6 +334,7 @@ mod tests {
     #[test]
     fn flit_crosses_one_hop_per_cycle() {
         let vcs = 1;
+        let mut arena = Slab::new();
         let mut bufs = mk_bufs(2, vcs, 4);
         let mut r0 = Router::new(0, 2, vcs);
         let mut r1 = Router::new(1, 2, vcs);
@@ -317,9 +342,10 @@ mod tests {
         for b in &mut bufs {
             b.begin_cycle();
         }
+        let tx = new_tx(&mut arena, 1);
         let local0 = Router::buf_index(0, LOCAL, 0, vcs);
-        bufs[local0].push(head(1)).unwrap();
-        bufs[local0].push(tail(1)).unwrap();
+        bufs[local0].push(head(1, tx)).unwrap();
+        bufs[local0].push(tail(1, tx)).unwrap();
         let mut delivered = Vec::new();
         for _cycle in 0..10 {
             for b in &mut bufs {
@@ -336,6 +362,7 @@ mod tests {
     #[test]
     fn wormhole_does_not_interleave_packets() {
         let vcs = 1;
+        let mut arena = Slab::new();
         let mut bufs = mk_bufs(2, vcs, 8);
         let mut r0 = Router::new(0, 2, vcs);
         let mut r1 = Router::new(1, 2, vcs);
@@ -347,16 +374,10 @@ mod tests {
         // at the North input buffer (as if it existed).
         let local0 = Router::buf_index(0, LOCAL, 0, vcs);
         let north0 = Router::buf_index(0, 0, 0, vcs);
-        let mut pkt_a = head(1);
-        pkt_a.transfer = 100;
-        let mut tail_a = tail(1);
-        tail_a.transfer = 100;
-        let mut pkt_b = head(1);
-        pkt_b.transfer = 200;
-        let mut tail_b = tail(1);
-        tail_b.transfer = 200;
-        bufs[local0].push(pkt_a).unwrap();
-        bufs[north0].push(pkt_b).unwrap();
+        let tx_a = new_tx(&mut arena, 1);
+        let tx_b = new_tx(&mut arena, 1);
+        bufs[local0].push(head(1, tx_a)).unwrap();
+        bufs[north0].push(head(1, tx_b)).unwrap();
         // Tails injected later, to try to force interleaving.
         let mut delivered = Vec::new();
         for cycle in 0..12 {
@@ -364,13 +385,13 @@ mod tests {
                 b.begin_cycle();
             }
             if cycle == 2 {
-                bufs[local0].push(tail_a).unwrap();
-                bufs[north0].push(tail_b).unwrap();
+                bufs[local0].push(tail(1, tx_a)).unwrap();
+                bufs[north0].push(tail(1, tx_b)).unwrap();
             }
             delivered.extend(r0.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
             delivered.extend(r1.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
         }
-        let order: Vec<u64> = delivered.iter().map(|d| d.flit.transfer).collect();
+        let order: Vec<TxHandle> = delivered.iter().map(|d| d.flit.tx).collect();
         assert_eq!(order.len(), 4);
         assert_eq!(order[0], order[1], "first packet contiguous: {order:?}");
         assert_eq!(order[2], order[3], "second packet contiguous: {order:?}");
@@ -379,18 +400,20 @@ mod tests {
     #[test]
     fn backpressure_stalls_at_full_buffer() {
         let vcs = 1;
+        let mut arena = Slab::new();
         // Downstream buffer of 2 flits and a receiver that never drains.
         let mut bufs = mk_bufs(2, vcs, 2);
         let mut r0 = Router::new(0, 2, vcs);
         for b in &mut bufs {
             b.begin_cycle();
         }
+        let tx = new_tx(&mut arena, 1);
         let local0 = Router::buf_index(0, LOCAL, 0, vcs);
-        bufs[local0].push(head(1)).unwrap();
+        bufs[local0].push(head(1, tx)).unwrap();
         bufs[local0]
             .push(Flit {
                 kind: FlitKind::Body,
-                ..head(1)
+                ..head(1, tx)
             })
             .unwrap();
         for _ in 0..10 {
@@ -408,6 +431,7 @@ mod tests {
     #[test]
     fn separate_vcs_can_interleave_on_link() {
         let vcs = 2;
+        let mut arena = Slab::new();
         let mut bufs = mk_bufs(2, vcs, 8);
         let mut r0 = Router::new(0, 2, vcs);
         for b in &mut bufs {
@@ -416,12 +440,9 @@ mod tests {
         // One long packet per VC, both heading East.
         for v in 0..2 {
             let idx = Router::buf_index(0, LOCAL, v, vcs);
-            let mut h = head(1);
-            h.transfer = v as u64;
-            bufs[idx].push(h).unwrap();
-            let mut t = tail(1);
-            t.transfer = v as u64;
-            bufs[idx].push(t).unwrap();
+            let tx = new_tx(&mut arena, 1);
+            bufs[idx].push(head(1, tx)).unwrap();
+            bufs[idx].push(tail(1, tx)).unwrap();
         }
         let mut sent = Vec::new();
         for _ in 0..10 {
@@ -432,7 +453,7 @@ mod tests {
             for v in 0..2 {
                 let widx = Router::buf_index(1, Port::West.index(), v, vcs);
                 if let Some(f) = bufs[widx].pop() {
-                    sent.push(f.transfer);
+                    sent.push(f.tx);
                 }
             }
         }

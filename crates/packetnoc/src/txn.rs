@@ -1,0 +1,44 @@
+//! Slab-resident in-flight transfer records.
+//!
+//! The baseline engine used to track in-flight transfers in a
+//! `HashMap<(src, id), packets_left>`, hashed on every tail-flit delivery
+//! and inserted/removed per transfer — allocator and hash traffic on the
+//! hot path. Instead, a [`TxRecord`] is allocated **once** in the
+//! engine-owned [`simkit::Slab`] arena when the stimulus is injected, and
+//! every [`Flit`](crate::router::Flit) of the transfer carries the record's
+//! [`TxHandle`], so tail delivery is a direct indexed decrement and the
+//! record is freed exactly when its last packet retires.
+
+use simkit::Handle;
+use traffic::Transfer;
+
+/// The in-flight record of one transfer, living in the engine's arena
+/// from injection to retirement.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Originating master node (completion callbacks report it).
+    pub src: usize,
+    /// The transfer descriptor being moved.
+    pub transfer: Transfer,
+    /// Packets the NI has not yet finished serializing.
+    pub to_send: u64,
+    /// Packets whose tail flit has not yet been delivered; the record is
+    /// freed when this reaches zero.
+    pub undelivered: u64,
+}
+
+impl TxRecord {
+    /// A fresh record for `transfer` from `src`, `packets` packets long.
+    #[must_use]
+    pub fn new(src: usize, transfer: Transfer, packets: u64) -> Self {
+        Self {
+            src,
+            transfer,
+            to_send: packets,
+            undelivered: packets,
+        }
+    }
+}
+
+/// The handle every flit of a transfer carries back to its [`TxRecord`].
+pub type TxHandle = Handle<TxRecord>;

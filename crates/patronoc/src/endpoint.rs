@@ -5,12 +5,23 @@
 //! maximum burst length is used by the RTL model of the DMA engine to
 //! create AXI-compliant bursts (adhering to address boundaries and max
 //! number of beats)" (paper §IV).
+//!
+//! ## Arena-resident in-flight state
+//!
+//! A transfer's whole in-flight record ([`InflightTransfer`]) lives in a
+//! [`Slab`] arena owned by the engine: allocated once when the stimulus is
+//! injected, queued at its DMA as a [`simkit::Handle`] through an
+//! intrusive [`HandleQueue`], progressed in place while bursts fly, and
+//! freed when the last response retires it. Burst lists are incremental
+//! [`SplitCursor`]s (three words of state) instead of materialized
+//! `Vec<Burst>`s, and the W-channel stream descriptors sit in a second
+//! arena — the endpoint hot path performs no heap allocation at all.
 
 use crate::link::{AxiLink, DataBeat, ReqBeat, RespBeat};
 use axi::id::OrderingGuard;
-use axi::split::split_transfer;
-use axi::{AxiId, AxiParams, Burst};
-use simkit::{Cycle, Histogram, ThroughputMeter};
+use axi::split::SplitCursor;
+use axi::{AxiId, AxiParams};
+use simkit::{Cycle, Handle, HandleQueue, Histogram, Slab, ThroughputMeter};
 use std::collections::VecDeque;
 use traffic::{Transfer, TransferKind};
 
@@ -25,14 +36,18 @@ pub struct ResolvedTransfer {
     pub src_addr: Option<u64>,
 }
 
+/// The slab-resident record of one in-flight transfer: the resolved
+/// descriptor plus all of its progress state. Allocated by the engine at
+/// injection ([`crate::NocSim`] owns the arena), owned by exactly one
+/// [`DmaEngine`] queue/active slot at a time, freed on retirement.
 #[derive(Debug, Clone)]
-struct ActiveTransfer {
-    transfer: Transfer,
+pub struct InflightTransfer {
+    resolved: ResolvedTransfer,
     issued_at: Cycle,
-    /// AR bursts to issue (reads and the read leg of copies).
-    read_bursts: VecDeque<Burst>,
-    /// AW bursts to issue (writes and the write leg of copies).
-    write_bursts: VecDeque<Burst>,
+    /// AR bursts still to issue (reads and the read leg of copies).
+    read_bursts: SplitCursor,
+    /// AW bursts still to issue (writes and the write leg of copies).
+    write_bursts: SplitCursor,
     /// Streaming buffer for copies: received bytes not yet emitted as W
     /// beats. `None` for one-sided writes (data is local, always ready).
     buffer_bytes: Option<u64>,
@@ -42,8 +57,27 @@ struct ActiveTransfer {
     resp_pending: u32,
 }
 
+impl InflightTransfer {
+    /// Wraps a resolved descriptor; progress state is initialized when the
+    /// DMA activates the transfer.
+    #[must_use]
+    pub fn new(resolved: ResolvedTransfer) -> Self {
+        Self {
+            resolved,
+            issued_at: 0,
+            read_bursts: SplitCursor::empty(),
+            write_bursts: SplitCursor::empty(),
+            buffer_bytes: None,
+            read_dst: 0,
+            resp_pending: 0,
+        }
+    }
+}
+
+/// One W-channel burst being streamed: slab-resident (the engine owns the
+/// arena), queued per DMA through an intrusive [`HandleQueue`].
 #[derive(Debug, Clone)]
-struct WStream {
+pub struct WStream {
     beats_left: u16,
     bytes_left: u32,
     txn: u64,
@@ -68,13 +102,13 @@ pub struct DmaEngine {
     link: usize,
     params: AxiParams,
     setup_cycles: u32,
-    queue: VecDeque<ResolvedTransfer>,
-    active: Option<ActiveTransfer>,
+    queue: HandleQueue<InflightTransfer>,
+    active: Option<Handle<InflightTransfer>>,
     outstanding_rd: u32,
     outstanding_wr: u32,
     rd_guard: OrderingGuard,
     wr_guard: OrderingGuard,
-    w_streams: VecDeque<WStream>,
+    w_streams: HandleQueue<WStream>,
     next_id: u16,
     txn_serial: u64,
     issue_allowed_at: Cycle,
@@ -92,13 +126,13 @@ impl DmaEngine {
             link,
             params,
             setup_cycles,
-            queue: VecDeque::new(),
+            queue: HandleQueue::new(),
             active: None,
             outstanding_rd: 0,
             outstanding_wr: 0,
             rd_guard: OrderingGuard::new(),
             wr_guard: OrderingGuard::new(),
-            w_streams: VecDeque::new(),
+            w_streams: HandleQueue::new(),
             next_id: 0,
             txn_serial: (node as u64) << 40,
             issue_allowed_at: 0,
@@ -120,9 +154,9 @@ impl DmaEngine {
         self.link
     }
 
-    /// Queues a transfer descriptor.
-    pub fn enqueue(&mut self, t: ResolvedTransfer) {
-        self.queue.push_back(t);
+    /// Queues a transfer record previously allocated in `txns`.
+    pub fn enqueue(&mut self, txns: &mut Slab<InflightTransfer>, h: Handle<InflightTransfer>) {
+        self.queue.push_back(txns, h);
     }
 
     /// Descriptors waiting (not counting the active one).
@@ -152,31 +186,43 @@ impl DmaEngine {
         &self.latency
     }
 
-    /// Drains the IDs of transfers that completed this cycle.
-    pub fn take_finished(&mut self) -> Vec<u64> {
-        std::mem::take(&mut self.finished)
+    /// Drains the IDs of transfers that completed this cycle into `out`
+    /// (cleared first), reusing the caller's buffer — no per-call `Vec`.
+    pub fn drain_finished(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        out.append(&mut self.finished);
     }
 
-    /// Advances one cycle. `meter` accumulates read payload delivered to
-    /// this master (write payload is counted at the slave; a copy's read
-    /// leg is *not* metered — its payload is counted once, at the
-    /// destination). Returns whether the engine remains active — i.e.
-    /// must be stepped again next cycle even if no new beat arrives on
-    /// its link (queued descriptors, an active transfer, or outstanding
-    /// responses). The caller should also mark [`link`](Self::link) live,
-    /// since a step may have pushed request or data beats into it.
-    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) -> bool {
+    /// Advances one cycle. `txns`/`wstreams` are the engine-owned arenas
+    /// holding this DMA's in-flight records; `meter` accumulates read
+    /// payload delivered to this master (write payload is counted at the
+    /// slave; a copy's read leg is *not* metered — its payload is counted
+    /// once, at the destination). Returns whether the engine remains
+    /// active — i.e. must be stepped again next cycle even if no new beat
+    /// arrives on its link (queued descriptors, an active transfer, or
+    /// outstanding responses). The caller should also mark
+    /// [`link`](Self::link) live, since a step may have pushed request or
+    /// data beats into it.
+    pub fn step(
+        &mut self,
+        links: &mut [AxiLink],
+        now: Cycle,
+        txns: &mut Slab<InflightTransfer>,
+        wstreams: &mut Slab<WStream>,
+        meter: &mut ThroughputMeter,
+    ) -> bool {
         let link = &mut links[self.link];
         // Write responses.
         if let Some(beat) = link.b.pop() {
             self.wr_guard.complete(beat.id);
             self.outstanding_wr -= 1;
-            let active = self.active.as_mut().expect("B for active transfer");
-            active.resp_pending -= 1;
+            let h = self.active.expect("B for active transfer");
+            txns[h].resp_pending -= 1;
         }
         // Read data.
         if let Some(beat) = link.r.pop() {
-            let active = self.active.as_mut().expect("R for active transfer");
+            let h = self.active.expect("R for active transfer");
+            let active = &mut txns[h];
             match active.buffer_bytes {
                 // Copy: received data feeds the write leg; not metered.
                 Some(ref mut buf) => *buf += u64::from(beat.bytes),
@@ -188,68 +234,71 @@ impl DmaEngine {
                 active.resp_pending -= 1;
             }
         }
-        // Transfer completion.
-        if let Some(active) = &self.active {
-            if active.read_bursts.is_empty()
-                && active.write_bursts.is_empty()
+        // Transfer completion: retirement frees the arena slot.
+        if let Some(h) = self.active {
+            let active = &txns[h];
+            if active.read_bursts.is_done()
+                && active.write_bursts.is_done()
                 && active.resp_pending == 0
                 && self.w_streams.is_empty()
             {
-                let active = self.active.take().expect("checked above");
+                let active = txns.free(h);
+                self.active = None;
                 self.latency.record(now.saturating_sub(active.issued_at));
-                self.finished.push(active.transfer.id);
+                self.finished.push(active.resolved.transfer.id);
                 self.transfers_completed += 1;
                 self.issue_allowed_at = now + Cycle::from(self.setup_cycles);
             }
         }
         // Start the next descriptor once the setup window has elapsed.
         if self.active.is_none() && now >= self.issue_allowed_at {
-            if let Some(r) = self.queue.pop_front() {
+            if let Some(h) = self.queue.pop_front(txns) {
                 let beat_bytes = self.params.bytes_per_beat();
+                let active = &mut txns[h];
+                let r = active.resolved;
                 let (read_bursts, write_bursts, buffer, read_dst) = match r.transfer.kind {
                     TransferKind::Read => (
-                        split_transfer(r.addr, r.transfer.bytes, beat_bytes),
-                        Vec::new(),
+                        SplitCursor::new(r.addr, r.transfer.bytes, beat_bytes),
+                        SplitCursor::empty(),
                         None,
                         r.transfer.dst,
                     ),
                     TransferKind::Write => (
-                        Vec::new(),
-                        split_transfer(r.addr, r.transfer.bytes, beat_bytes),
+                        SplitCursor::empty(),
+                        SplitCursor::new(r.addr, r.transfer.bytes, beat_bytes),
                         None,
                         r.transfer.dst,
                     ),
                     TransferKind::Copy { src, .. } => (
-                        split_transfer(
+                        SplitCursor::new(
                             r.src_addr.expect("engine resolved the copy source"),
                             r.transfer.bytes,
                             beat_bytes,
                         ),
-                        split_transfer(r.addr, r.transfer.bytes, beat_bytes),
+                        SplitCursor::new(r.addr, r.transfer.bytes, beat_bytes),
                         Some(0),
                         src,
                     ),
                 };
-                self.active = Some(ActiveTransfer {
-                    transfer: r.transfer,
-                    issued_at: now,
-                    read_bursts: read_bursts.into(),
-                    write_bursts: write_bursts.into(),
-                    buffer_bytes: buffer,
-                    read_dst,
-                    resp_pending: 0,
-                });
+                active.issued_at = now;
+                active.read_bursts = read_bursts;
+                active.write_bursts = write_bursts;
+                active.buffer_bytes = buffer;
+                active.read_dst = read_dst;
+                active.resp_pending = 0;
+                self.active = Some(h);
             }
         }
         // Issue burst requests: at most one AR and one AW per cycle
         // (independent channels, independent outstanding budgets).
         let mot = self.params.max_outstanding();
         let ids = self.params.unique_ids() as u16;
-        if let Some(active) = &mut self.active {
-            if self.outstanding_rd < mot && !active.read_bursts.is_empty() && link.ar.can_push() {
+        if let Some(h) = self.active {
+            let active = &mut txns[h];
+            if self.outstanding_rd < mot && !active.read_bursts.is_done() && link.ar.can_push() {
                 let id = AxiId(self.next_id % ids);
                 if self.rd_guard.may_issue(id, active.read_dst) {
-                    let burst = active.read_bursts.pop_front().expect("non-empty");
+                    let burst = active.read_bursts.next().expect("non-empty");
                     self.next_id = self.next_id.wrapping_add(1);
                     self.txn_serial += 1;
                     self.rd_guard.issue(id, active.read_dst);
@@ -266,11 +315,11 @@ impl DmaEngine {
                     });
                 }
             }
-            if self.outstanding_wr < mot && !active.write_bursts.is_empty() && link.aw.can_push() {
-                let dst = active.transfer.dst;
+            if self.outstanding_wr < mot && !active.write_bursts.is_done() && link.aw.can_push() {
+                let dst = active.resolved.transfer.dst;
                 let id = AxiId(self.next_id % ids);
                 if self.wr_guard.may_issue(id, dst) {
-                    let burst = active.write_bursts.pop_front().expect("non-empty");
+                    let burst = active.write_bursts.next().expect("non-empty");
                     self.next_id = self.next_id.wrapping_add(1);
                     self.txn_serial += 1;
                     self.wr_guard.issue(id, dst);
@@ -286,39 +335,40 @@ impl DmaEngine {
                         issued_at: active.issued_at,
                     };
                     link.aw.push(beat);
-                    self.w_streams.push_back(WStream {
+                    let wh = wstreams.alloc(WStream {
                         beats_left: beat.beats,
                         bytes_left: beat.bytes,
                         txn: beat.txn,
                     });
+                    self.w_streams.push_back(wstreams, wh);
                 }
             }
         }
         // Stream write data, one beat per cycle; a copy's W beats wait for
         // the corresponding read data to have arrived.
-        if let Some(ws) = self.w_streams.front_mut() {
+        if let Some(wh) = self.w_streams.front(wstreams) {
             if link.w.can_push() {
+                let ws = &wstreams[wh];
                 let bytes = ws.bytes_left.div_ceil(u32::from(ws.beats_left));
-                let data_ready = match self.active.as_ref().and_then(|a| a.buffer_bytes) {
+                let data_ready = match self.active.and_then(|h| txns[h].buffer_bytes) {
                     Some(buf) => buf >= u64::from(bytes),
                     None => true,
                 };
                 if data_ready {
-                    if let Some(active) = &mut self.active {
-                        if let Some(buf) = &mut active.buffer_bytes {
+                    if let Some(h) = self.active {
+                        if let Some(buf) = &mut txns[h].buffer_bytes {
                             *buf -= u64::from(bytes);
                         }
                     }
+                    let ws = &mut wstreams[wh];
                     ws.bytes_left -= bytes;
                     ws.beats_left -= 1;
                     let last = ws.beats_left == 0;
-                    link.w.push(DataBeat {
-                        bytes,
-                        last,
-                        txn: ws.txn,
-                    });
+                    let txn = ws.txn;
+                    link.w.push(DataBeat { bytes, last, txn });
                     if last {
-                        self.w_streams.pop_front();
+                        self.w_streams.pop_front(wstreams);
+                        wstreams.free(wh);
                     }
                 }
             }
@@ -521,23 +571,36 @@ mod tests {
         }
     }
 
+    /// The arenas every endpoint test threads through the DMA.
+    fn arenas() -> (Slab<InflightTransfer>, Slab<WStream>) {
+        (Slab::new(), Slab::new())
+    }
+
+    fn enqueue(dma: &mut DmaEngine, txns: &mut Slab<InflightTransfer>, r: ResolvedTransfer) {
+        let h = txns.alloc(InflightTransfer::new(r));
+        dma.enqueue(txns, h);
+    }
+
     /// Runs a DMA directly wired to a memory (no XPs) to completion.
     fn run_direct(bytes: u64, kind: TransferKind) -> (u64, u64, Cycle) {
         let mut links = wire();
+        let (mut txns, mut wstreams) = arenas();
         let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 4);
         let mut mem = MemorySlave::new(2, 0, 5, 64);
         let mut meter = ThroughputMeter::new(0);
-        dma.enqueue(transfer(bytes, kind));
+        enqueue(&mut dma, &mut txns, transfer(bytes, kind));
         let mut now = 0;
         while !dma.is_idle() {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut meter);
+            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
             mem.step(&mut links, now, &mut meter);
             now += 1;
             assert!(now < 1_000_000, "no forward progress");
         }
+        assert!(txns.is_empty(), "record freed on retirement");
+        assert!(wstreams.is_empty(), "W streams freed on completion");
         (meter.bytes(), mem.write_bytes(), now)
     }
 
@@ -612,18 +675,21 @@ mod tests {
     #[test]
     fn completion_reported_once() {
         let mut links = wire();
+        let (mut txns, mut wstreams) = arenas();
         let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 2);
         let mut mem = MemorySlave::new(2, 0, 3, 16);
         let mut meter = ThroughputMeter::new(0);
-        dma.enqueue(transfer(64, TransferKind::Read));
-        let mut finished = Vec::new();
+        enqueue(&mut dma, &mut txns, transfer(64, TransferKind::Read));
+        let mut finished: Vec<u64> = Vec::new();
+        let mut scratch = Vec::new();
         for now in 0..200 {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut meter);
+            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
             mem.step(&mut links, now, &mut meter);
-            finished.extend(dma.take_finished());
+            dma.drain_finished(&mut scratch);
+            finished.extend(&scratch);
         }
         assert_eq!(finished, vec![1]);
         assert_eq!(dma.transfers_completed(), 1);
@@ -632,19 +698,22 @@ mod tests {
     #[test]
     fn setup_cost_separates_descriptors() {
         let mut links = wire();
+        let (mut txns, mut wstreams) = arenas();
         let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 20);
         let mut mem = MemorySlave::new(2, 0, 1, 16);
         let mut meter = ThroughputMeter::new(0);
-        dma.enqueue(transfer(4, TransferKind::Write));
-        dma.enqueue(transfer(4, TransferKind::Write));
+        enqueue(&mut dma, &mut txns, transfer(4, TransferKind::Write));
+        enqueue(&mut dma, &mut txns, transfer(4, TransferKind::Write));
         let mut completion_times = Vec::new();
+        let mut scratch = Vec::new();
         for now in 0..500 {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut meter);
+            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
             mem.step(&mut links, now, &mut meter);
-            if !dma.take_finished().is_empty() {
+            dma.drain_finished(&mut scratch);
+            if !scratch.is_empty() {
                 completion_times.push(now);
             }
         }
@@ -657,15 +726,16 @@ mod tests {
     fn mot_limits_outstanding_bursts() {
         let params = AxiParams::slim().with_max_outstanding(2).unwrap();
         let mut links = wire();
+        let (mut txns, mut wstreams) = arenas();
         let mut dma = DmaEngine::new(0, 0, params, 0);
         // A slave that never answers: outstanding must stop at MOT.
-        dma.enqueue(transfer(64 * 1024, TransferKind::Read));
+        enqueue(&mut dma, &mut txns, transfer(64 * 1024, TransferKind::Read));
         let mut meter = ThroughputMeter::new(0);
         for now in 0..100 {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut meter);
+            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
             // Drain AR so channel space is never the limit.
             if now % 2 == 0 {
                 links[0].ar.pop();
@@ -726,5 +796,30 @@ mod tests {
             }
         }
         assert!(first_r.expect("R arrived") >= 25);
+    }
+
+    #[test]
+    fn slab_telemetry_counts_transfers() {
+        let mut links = wire();
+        let (mut txns, mut wstreams) = arenas();
+        let mut dma = DmaEngine::new(0, 0, AxiParams::slim(), 0);
+        let mut mem = MemorySlave::new(2, 0, 3, 16);
+        let mut meter = ThroughputMeter::new(0);
+        for _ in 0..3 {
+            enqueue(&mut dma, &mut txns, transfer(64, TransferKind::Write));
+        }
+        assert_eq!(txns.high_water(), 3, "all three queued at once");
+        let mut now = 0;
+        while !dma.is_idle() {
+            for l in &mut links {
+                l.begin_cycle();
+            }
+            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
+            mem.step(&mut links, now, &mut meter);
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert_eq!(txns.allocs(), 3, "one allocation per transfer");
+        assert!(txns.is_empty(), "all records retired");
     }
 }

@@ -22,14 +22,15 @@
 //! injected loads this removes >90 % of the per-cycle work.
 
 use crate::config::NocConfig;
-use crate::endpoint::{DmaEngine, MemorySlave, ResolvedTransfer};
+use crate::endpoint::{DmaEngine, InflightTransfer, MemorySlave, ResolvedTransfer, WStream};
 use crate::link::AxiLink;
 use crate::topology::{Dir, LOCAL, PORTS};
 use crate::xp::Xp;
 use axi::addr::Region;
 use axi::{AddressMap, ConfigError};
 use simkit::sched::ActiveSet;
-use simkit::{Cycle, Histogram, SimReport, StopReason, ThroughputMeter};
+use simkit::slab::SlabStats;
+use simkit::{Cycle, Histogram, ProgressWatchdog, SimReport, Slab, StopReason, ThroughputMeter};
 use traffic::TrafficSource;
 
 /// The component at one end of a link, for activity propagation: a live
@@ -139,6 +140,15 @@ pub struct NocSim {
     mems: Vec<MemorySlave>,
     /// node → index into `dmas`.
     dma_of_node: Vec<Option<usize>>,
+    /// Arena of every in-flight transfer: allocated at injection
+    /// ([`poll_stimulus`](Self::poll_stimulus)), owned by one DMA's
+    /// handle queue/active slot, freed on retirement.
+    txns: Slab<InflightTransfer>,
+    /// Arena of the W-channel streams currently being serialized.
+    wstreams: Slab<WStream>,
+    /// Reused buffer for per-cycle completion draining (no per-cycle
+    /// `Vec`).
+    finished_scratch: Vec<u64>,
     map: AddressMap,
     now: Cycle,
     meter: ThroughputMeter,
@@ -237,6 +247,9 @@ impl NocSim {
             dmas,
             mems,
             dma_of_node,
+            txns: Slab::new(),
+            wstreams: Slab::new(),
+            finished_scratch: Vec::new(),
             map,
             now: 0,
             meter: ThroughputMeter::new(0),
@@ -295,25 +308,22 @@ impl NocSim {
     ) -> SimReport {
         self.begin_measurement(self.now + warmup);
         let deadline = self.now + max_cycles;
-        let mut last_progress = (self.now, self.progress_marker());
+        let mut watchdog = ProgressWatchdog::new(self.now, self.progress_marker());
         self.stop_reason = StopReason::Budget;
         let wall_start = std::time::Instant::now();
         let first_cycle = self.now;
         while self.now < deadline {
             self.step(source);
-            let marker = self.progress_marker();
-            if marker != last_progress.1 {
-                last_progress = (self.now, marker);
-            } else if self.now - last_progress.0 > 100_000 {
+            if let Some(since) = watchdog.observe(self.now, self.progress_marker()) {
                 if self.is_drained() {
                     // Not a stall: the NoC is simply idle (e.g. waiting for
                     // the next Poisson arrival at very low loads).
-                    last_progress = (self.now, marker);
+                    watchdog.excuse(self.now);
                     continue;
                 }
                 panic!(
                     "deadlock: no progress since cycle {} (now {}), {} transfers done",
-                    last_progress.0,
+                    since,
                     self.now,
                     self.transfers_completed()
                 );
@@ -381,11 +391,14 @@ impl NocSim {
                     }
                     _ => None,
                 };
-                self.dmas[di].enqueue(ResolvedTransfer {
+                // The transaction's single allocation: one arena record,
+                // flowing by handle until retirement frees it.
+                let h = self.txns.alloc(InflightTransfer::new(ResolvedTransfer {
                     transfer: t,
                     addr,
                     src_addr,
-                });
+                }));
+                self.dmas[di].enqueue(&mut self.txns, h);
                 wake(di);
             }
         }
@@ -404,7 +417,13 @@ impl NocSim {
         }
         self.poll_stimulus(source, |_| {});
         for d in &mut self.dmas {
-            d.step(&mut self.links, self.now, &mut self.meter);
+            d.step(
+                &mut self.links,
+                self.now,
+                &mut self.txns,
+                &mut self.wstreams,
+                &mut self.meter,
+            );
         }
         for m in &mut self.mems {
             m.step(&mut self.links, self.now, &mut self.meter);
@@ -413,12 +432,15 @@ impl NocSim {
             x.step(&mut self.links);
         }
         // Report completions back to the source.
+        let mut finished = std::mem::take(&mut self.finished_scratch);
         for d in &mut self.dmas {
             let node = d.node();
-            for id in d.take_finished() {
+            d.drain_finished(&mut finished);
+            for &id in &finished {
                 source.on_complete(node, id, self.now);
             }
         }
+        self.finished_scratch = finished;
         self.now += 1;
         live
     }
@@ -521,7 +543,13 @@ impl NocSim {
         // its link, so the link must be refreshed next cycle; it stays
         // self-active while it holds any descriptor or outstanding burst.
         for &di in &dmas_now {
-            if self.dmas[di].step(&mut self.links, self.now, &mut self.meter) {
+            if self.dmas[di].step(
+                &mut self.links,
+                self.now,
+                &mut self.txns,
+                &mut self.wstreams,
+                &mut self.meter,
+            ) {
                 self.sched.dmas.insert(di);
             }
             self.sched.hot_links.insert(self.dmas[di].link());
@@ -546,12 +574,15 @@ impl NocSim {
         }
         // Phase 6: report completions back to the source. Only a DMA
         // stepped this cycle can have finished a transfer.
+        let mut finished = std::mem::take(&mut self.finished_scratch);
         for &di in &dmas_now {
             let node = self.dmas[di].node();
-            for id in self.dmas[di].take_finished() {
+            self.dmas[di].drain_finished(&mut finished);
+            for &id in &finished {
                 source.on_complete(node, id, self.now);
             }
         }
+        self.finished_scratch = finished;
         let tracked =
             self.sched.scratch_links.len() + dmas_now.len() + mems_now.len() + xps_now.len();
         self.sched.scratch_dmas = dmas_now;
@@ -597,6 +628,15 @@ impl NocSim {
         self.dmas.iter().map(DmaEngine::transfers_completed).sum()
     }
 
+    /// Combined telemetry of the engine's in-flight arenas (transfer
+    /// records + W-stream descriptors) — what
+    /// [`SimReport::slab_high_water`] and
+    /// [`SimReport::allocs_per_kilocycle`] are derived from.
+    #[must_use]
+    pub fn allocation_stats(&self) -> SlabStats {
+        self.txns.stats().merge(self.wstreams.stats())
+    }
+
     /// Payload bytes measured so far (inside the window).
     #[must_use]
     pub fn payload_bytes(&self) -> u64 {
@@ -631,6 +671,7 @@ impl NocSim {
             latency.merge(h);
         }
         let bps = self.meter.throughput_bytes_s(self.now);
+        let slab = self.allocation_stats();
         SimReport {
             cycles: self.now,
             payload_bytes: self.meter.bytes(),
@@ -649,6 +690,8 @@ impl NocSim {
             } else {
                 0.0
             },
+            slab_high_water: slab.high_water,
+            allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
         }
     }
 }
@@ -1017,6 +1060,21 @@ mod tests {
             (r.payload_bytes, r.transfers_completed, r.p99_latency)
         };
         assert_eq!(run(4), run(1 << 32));
+    }
+
+    #[test]
+    fn report_carries_slab_telemetry() {
+        let mut sim = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut src = OneEach::new(16, 1024, TransferKind::Write, |m| (m + 5) % 16);
+        let report = sim.run(&mut src, 1_000_000, 0);
+        let stats = sim.allocation_stats();
+        assert_eq!(stats.live, 0, "every record retired on drain");
+        assert!(
+            stats.allocs >= 16,
+            "at least one allocation per transfer: {stats:?}"
+        );
+        assert!(report.slab_high_water >= 1);
+        assert!(report.allocs_per_kilocycle > 0.0);
     }
 
     #[test]

@@ -28,7 +28,45 @@ use crate::topology::{Dir, LOCAL};
 use crate::topology::{Topology, PORTS};
 use axi::id::{IdRemapper, OrderingGuard, SourceKey};
 use simkit::RoundRobinArbiter;
-use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO of port indices: the heap-free replacement for
+/// the old per-output `VecDeque<usize>` W-grant queues. At most one write
+/// burst per *input* port is in flight through an XP (enforced by the
+/// `w_route` stall in [`Xp::step_requests`]), so every queue holds at most
+/// `PORTS` entries and the whole structure is a few bytes of fixed layout.
+#[derive(Debug, Clone, Copy)]
+struct PortFifo {
+    slots: [u8; PORTS],
+    head: u8,
+    len: u8,
+}
+
+impl PortFifo {
+    const fn new() -> Self {
+        Self {
+            slots: [0; PORTS],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push_back(&mut self, port: usize) {
+        debug_assert!((self.len as usize) < PORTS, "port fifo overflow");
+        let tail = (self.head as usize + self.len as usize) % PORTS;
+        self.slots[tail] = port as u8;
+        self.len += 1;
+    }
+
+    fn front(&self) -> Option<usize> {
+        (self.len > 0).then(|| usize::from(self.slots[self.head as usize]))
+    }
+
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0, "pop from empty port fifo");
+        self.head = (self.head + 1) % PORTS as u8;
+        self.len -= 1;
+    }
+}
 
 /// One crosspoint of the NoC.
 ///
@@ -47,8 +85,12 @@ pub struct Xp {
     ar_arb: Vec<RoundRobinArbiter>,
     b_arb: Vec<RoundRobinArbiter>,
     r_arb: Vec<RoundRobinArbiter>,
-    w_order: Vec<VecDeque<usize>>,
-    w_route: Vec<VecDeque<usize>>,
+    /// Per output port: the inputs whose AWs won arbitration, in grant
+    /// order — the order their W streams must follow.
+    w_order: [PortFifo; PORTS],
+    /// Per input port: the output its current write burst was granted to
+    /// (at most one in flight per input; see [`PortFifo`]).
+    w_route: [Option<usize>; PORTS],
     wr_remap: Vec<IdRemapper>,
     rd_remap: Vec<IdRemapper>,
     aw_guard: Vec<OrderingGuard>,
@@ -84,8 +126,8 @@ impl Xp {
             ar_arb: (0..PORTS).map(|_| RoundRobinArbiter::new(PORTS)).collect(),
             b_arb: (0..PORTS).map(|_| RoundRobinArbiter::new(PORTS)).collect(),
             r_arb: (0..PORTS).map(|_| RoundRobinArbiter::new(PORTS)).collect(),
-            w_order: vec![VecDeque::new(); PORTS],
-            w_route: vec![VecDeque::new(); PORTS],
+            w_order: [PortFifo::new(); PORTS],
+            w_route: [None; PORTS],
             wr_remap: (0..PORTS).map(|_| IdRemapper::new(id_width)).collect(),
             rd_remap: (0..PORTS).map(|_| IdRemapper::new(id_width)).collect(),
             aw_guard: vec![OrderingGuard::new(); PORTS],
@@ -201,7 +243,7 @@ impl Xp {
                 // with unrestricted AW run-ahead, the per-output grant-order
                 // coupling of the W channel can form cyclic waits across
                 // crosspoints and deadlock the write path).
-                if write && !self.w_route[i].is_empty() {
+                if write && self.w_route[i].is_some() {
                     continue;
                 }
                 let remap = if write {
@@ -240,7 +282,8 @@ impl Xp {
                 let rid = self.wr_remap[o].acquire(key).expect("eligibility checked");
                 self.aw_guard[i].issue(beat.id, o);
                 self.w_order[o].push_back(i);
-                self.w_route[i].push_back(o);
+                debug_assert!(self.w_route[i].is_none(), "one write per input");
+                self.w_route[i] = Some(o);
                 beat.id = rid;
                 links[out_idx].aw.push(beat);
             } else {
@@ -264,11 +307,11 @@ impl Xp {
             if !links[out_idx].w.can_push() {
                 continue;
             }
-            let Some(&i) = self.w_order[o].front() else {
+            let Some(i) = self.w_order[o].front() else {
                 continue;
             };
             // The input's current W stream must also be committed to us.
-            if self.w_route[i].front() != Some(&o) {
+            if self.w_route[i] != Some(o) {
                 continue;
             }
             let in_idx = self.in_links[i].expect("granted input exists");
@@ -281,7 +324,7 @@ impl Xp {
             moved = true;
             if last {
                 self.w_order[o].pop_front();
-                self.w_route[i].pop_front();
+                self.w_route[i] = None;
             }
         }
         moved

@@ -19,6 +19,12 @@
 //! * [`sched`] — the [`ActiveSet`] behind activity-driven stepping: a
 //!   deterministic (ascending-index) set of live component indices so the
 //!   engines only touch non-quiescent hardware each cycle.
+//! * [`slab`] — the generational [`Slab`] arena (+ typed [`Handle`]s and
+//!   intrusive [`HandleQueue`]s) that holds both engines' in-flight
+//!   transactions: allocated once at injection, flowing by handle, freed
+//!   on retirement — no per-cycle heap traffic.
+//! * [`watchdog`] — the [`ProgressWatchdog`] both engines arm around
+//!   their run loops to turn protocol deadlocks into panics.
 //! * [`pool`] — a scoped worker pool ([`pool::scope_map`]) for fanning
 //!   independent simulation points across threads with index-ordered,
 //!   serial-identical results.
@@ -54,7 +60,9 @@ pub mod pool;
 pub mod report;
 pub mod rng;
 pub mod sched;
+pub mod slab;
 pub mod stats;
+pub mod watchdog;
 
 pub use arbiter::RoundRobinArbiter;
 pub use fifo::{Fifo, PushError, RegisterSlice};
@@ -62,7 +70,9 @@ pub use json::Json;
 pub use report::{SimReport, StopReason};
 pub use rng::Rng;
 pub use sched::ActiveSet;
+pub use slab::{Handle, HandleQueue, Slab, SlabStats};
 pub use stats::{Histogram, RunningStats, ThroughputMeter};
+pub use watchdog::ProgressWatchdog;
 
 /// Simulation time in clock cycles.
 ///

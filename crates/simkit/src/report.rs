@@ -29,8 +29,11 @@ pub enum StopReason {
 ///
 /// `PartialEq` compares floats exactly (bit-for-bit modulo `-0.0`), which
 /// is the contract the `--jobs` determinism tests assert — except for
-/// [`cycles_per_sec`](Self::cycles_per_sec), which is wall-clock telemetry
-/// (machine- and load-dependent by nature) and is deliberately excluded
+/// [`cycles_per_sec`](Self::cycles_per_sec) (wall-clock telemetry,
+/// machine- and load-dependent by nature) and the slab-allocation
+/// telemetry ([`slab_high_water`](Self::slab_high_water),
+/// [`allocs_per_kilocycle`](Self::allocs_per_kilocycle)), which describe
+/// the *simulator*, not the simulated NoC, and are deliberately excluded
 /// from equality.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -62,6 +65,16 @@ pub struct SimReport {
     /// engine was only stepped manually (no timed `run` loop). Excluded
     /// from `PartialEq`: wall clock is not deterministic.
     pub cycles_per_sec: f64,
+    /// High-water mark of the engine's in-flight-transaction slab arenas
+    /// (most records ever live at once, summed over the engine's arenas —
+    /// see [`slab`](crate::slab)). Simulator telemetry like
+    /// [`cycles_per_sec`](Self::cycles_per_sec), so it is likewise
+    /// excluded from the `PartialEq` determinism contract.
+    pub slab_high_water: u64,
+    /// Slab allocations per thousand simulated cycles — the allocator-
+    /// pressure figure the arena refactor drives towards "one alloc per
+    /// transaction, zero per cycle". Telemetry; excluded from `PartialEq`.
+    pub allocs_per_kilocycle: f64,
 }
 
 impl PartialEq for SimReport {
@@ -90,29 +103,8 @@ impl SimReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn drained_is_the_only_drained_reason() {
-        let mut r = SimReport {
-            cycles: 1,
-            payload_bytes: 2,
-            throughput_gib_s: 0.5,
-            throughput_bytes_s: 5.0e8,
-            transfers_completed: 3,
-            mean_latency: 4.0,
-            p99_latency: 8,
-            stop_reason: StopReason::Drained,
-            cycles_per_sec: 0.0,
-        };
-        assert!(r.is_drained());
-        for reason in [StopReason::Budget, StopReason::WindowComplete] {
-            r.stop_reason = reason;
-            assert!(!r.is_drained());
-        }
-    }
-
-    #[test]
-    fn equality_ignores_wall_clock_rate() {
-        let r = SimReport {
+    fn report() -> SimReport {
+        SimReport {
             cycles: 1,
             payload_bytes: 2,
             throughput_gib_s: 0.5,
@@ -122,10 +114,29 @@ mod tests {
             p99_latency: 8,
             stop_reason: StopReason::Drained,
             cycles_per_sec: 1.0e6,
-        };
+            slab_high_water: 7,
+            allocs_per_kilocycle: 0.25,
+        }
+    }
+
+    #[test]
+    fn drained_is_the_only_drained_reason() {
+        let mut r = report();
+        assert!(r.is_drained());
+        for reason in [StopReason::Budget, StopReason::WindowComplete] {
+            r.stop_reason = reason;
+            assert!(!r.is_drained());
+        }
+    }
+
+    #[test]
+    fn equality_ignores_simulator_telemetry() {
+        let r = report();
         let mut faster = r.clone();
         faster.cycles_per_sec = 9.0e6;
-        assert_eq!(r, faster, "wall clock must not break determinism");
+        faster.slab_high_water = 99;
+        faster.allocs_per_kilocycle = 42.0;
+        assert_eq!(r, faster, "telemetry must not break determinism");
         let mut different = r.clone();
         different.payload_bytes = 99;
         assert_ne!(r, different);

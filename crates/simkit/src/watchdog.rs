@@ -1,0 +1,124 @@
+//! The no-forward-progress watchdog shared by every NoC engine.
+//!
+//! Both cycle-accurate engines guard their `run` loops against protocol
+//! deadlocks: if the progress marker (bytes moved + transfers/packets
+//! completed) stays frozen for more than a threshold number of cycles
+//! while work is pending, the simulation is wedged and must panic rather
+//! than spin forever. The logic used to be copy-pasted into both engines;
+//! [`ProgressWatchdog`] is the single implementation.
+//!
+//! The marker type is generic — each engine supplies whatever tuple of
+//! monotonic counters constitutes "progress" for it. An engine that finds
+//! itself stalled but *drained* (legitimately idle between sparse
+//! arrivals) calls [`excuse`](ProgressWatchdog::excuse) to restart the
+//! stall window instead of panicking.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::watchdog::ProgressWatchdog;
+//!
+//! let mut wd = ProgressWatchdog::with_threshold(10, 0, 0u64);
+//! assert_eq!(wd.observe(5, 0), None); // within the window
+//! assert_eq!(wd.observe(10, 0), None); // exactly at the threshold: quiet
+//! assert_eq!(wd.observe(11, 0), Some(0)); // stalled since cycle 0
+//! assert_eq!(wd.observe(12, 1), None); // progress resets the window
+//! ```
+
+use crate::Cycle;
+
+/// The stall threshold both NoC engines document and test against: the
+/// watchdog fires only when progress has been absent for **strictly more
+/// than** this many cycles.
+pub const DEFAULT_STALL_CYCLES: Cycle = 100_000;
+
+/// Detects absence of forward progress over a sliding window of cycles.
+#[derive(Debug, Clone)]
+pub struct ProgressWatchdog<M> {
+    threshold: Cycle,
+    since: Cycle,
+    marker: M,
+}
+
+impl<M: PartialEq> ProgressWatchdog<M> {
+    /// Creates a watchdog with the engines' standard
+    /// [`DEFAULT_STALL_CYCLES`] threshold, treating `marker` as the state
+    /// of progress at cycle `now`.
+    pub fn new(now: Cycle, marker: M) -> Self {
+        Self::with_threshold(DEFAULT_STALL_CYCLES, now, marker)
+    }
+
+    /// Creates a watchdog with a custom threshold.
+    pub fn with_threshold(threshold: Cycle, now: Cycle, marker: M) -> Self {
+        Self {
+            threshold,
+            since: now,
+            marker,
+        }
+    }
+
+    /// Records this cycle's progress marker. Returns `Some(stalled_since)`
+    /// — the cycle of the last observed progress — when the marker has
+    /// been frozen for strictly more than the threshold; `None` otherwise.
+    ///
+    /// On a firing the internal state is untouched, so the caller decides:
+    /// panic (a true deadlock) or [`excuse`](Self::excuse) (legitimately
+    /// idle) — an excused watchdog stays armed for the next stall.
+    pub fn observe(&mut self, now: Cycle, marker: M) -> Option<Cycle> {
+        if marker != self.marker {
+            self.since = now;
+            self.marker = marker;
+            None
+        } else if now - self.since > self.threshold {
+            Some(self.since)
+        } else {
+            None
+        }
+    }
+
+    /// Restarts the stall window at `now` without requiring progress —
+    /// for engines that are stalled because they are *drained* (idle
+    /// between sparse arrivals), which is not a deadlock.
+    pub fn excuse(&mut self, now: Cycle) {
+        self.since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_strictly_beyond_threshold() {
+        let mut wd = ProgressWatchdog::with_threshold(100, 0, (0u64, 0u64));
+        for now in 1..=100 {
+            assert_eq!(wd.observe(now, (0, 0)), None, "quiet at cycle {now}");
+        }
+        assert_eq!(wd.observe(101, (0, 0)), Some(0));
+    }
+
+    #[test]
+    fn progress_resets_the_window() {
+        let mut wd = ProgressWatchdog::with_threshold(10, 0, 0u32);
+        assert_eq!(wd.observe(9, 0), None);
+        assert_eq!(wd.observe(10, 1), None); // progress at cycle 10
+        assert_eq!(wd.observe(20, 1), None);
+        assert_eq!(wd.observe(21, 1), Some(10));
+    }
+
+    #[test]
+    fn excuse_restarts_without_progress() {
+        let mut wd = ProgressWatchdog::with_threshold(10, 0, 0u32);
+        assert_eq!(wd.observe(11, 0), Some(0));
+        wd.excuse(11);
+        assert_eq!(wd.observe(21, 0), None);
+        assert_eq!(wd.observe(22, 0), Some(11));
+    }
+
+    #[test]
+    fn default_threshold_is_one_hundred_thousand() {
+        let mut wd = ProgressWatchdog::new(0, 0u8);
+        assert_eq!(wd.observe(100_000, 0), None);
+        assert_eq!(wd.observe(100_001, 0), Some(0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Model-based property tests for the generational slab arena: random
+//! alloc/free/reuse schedules must never alias live handles, stale
+//! handles must always be rejected, and [`HandleQueue`] must behave like
+//! a reference FIFO under any interleaving of pushes and pops.
+
+use proptest::prelude::*;
+use simkit::slab::{HandleQueue, Slab};
+use std::collections::VecDeque;
+
+/// One step of a random slab schedule. Free/probe targets are picked by
+/// index into the currently-live (for `Free`) or already-freed (for
+/// `ProbeStale`) handle lists, modulo their length at execution time.
+#[derive(Debug, Clone, Copy)]
+enum SlabOp {
+    Alloc(u32),
+    Free(usize),
+    ProbeStale(usize),
+}
+
+fn slab_ops() -> impl Strategy<Value = SlabOp> {
+    prop_oneof![
+        any::<u32>().prop_map(SlabOp::Alloc),
+        any::<usize>().prop_map(SlabOp::Free),
+        any::<usize>().prop_map(SlabOp::ProbeStale),
+    ]
+}
+
+/// Queue schedule step: push a fresh record or pop the head.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Push(u32),
+    Pop,
+}
+
+fn queue_ops() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![any::<u32>().prop_map(QueueOp::Push), Just(QueueOp::Pop)]
+}
+
+proptest! {
+    /// No two live handles ever alias (same handle handed out twice while
+    /// the first is still live), every live handle resolves to exactly the
+    /// value it was allocated with, and the telemetry counters track the
+    /// schedule exactly.
+    #[test]
+    fn live_handles_never_alias(schedule in prop::collection::vec(slab_ops(), 1..300)) {
+        let mut slab: Slab<u32> = Slab::new();
+        let mut live: Vec<(simkit::Handle<u32>, u32)> = Vec::new();
+        let mut freed: Vec<simkit::Handle<u32>> = Vec::new();
+        let mut allocs = 0u64;
+        let mut high = 0usize;
+        for op in &schedule {
+            match *op {
+                SlabOp::Alloc(v) => {
+                    let h = slab.alloc(v);
+                    prop_assert!(
+                        live.iter().all(|&(other, _)| other != h),
+                        "live handle {h:?} handed out twice"
+                    );
+                    prop_assert!(
+                        freed.iter().all(|&old| old != h),
+                        "reissued handle {h:?} aliases a stale one"
+                    );
+                    live.push((h, v));
+                    allocs += 1;
+                    high = high.max(live.len());
+                }
+                SlabOp::Free(pick) if !live.is_empty() => {
+                    let (h, v) = live.remove(pick % live.len());
+                    prop_assert_eq!(slab.free(h), v);
+                    freed.push(h);
+                }
+                SlabOp::Free(_) => {}
+                SlabOp::ProbeStale(pick) if !freed.is_empty() => {
+                    let h = freed[pick % freed.len()];
+                    prop_assert!(slab.get(h).is_none(), "stale handle resolved");
+                    prop_assert!(!slab.contains(h));
+                }
+                SlabOp::ProbeStale(_) => {}
+            }
+            // Every live handle still resolves to its own value.
+            for &(h, v) in &live {
+                prop_assert_eq!(slab.get(h), Some(&v));
+            }
+            prop_assert_eq!(slab.len(), live.len());
+        }
+        prop_assert_eq!(slab.allocs(), allocs);
+        prop_assert_eq!(slab.high_water(), high);
+    }
+
+    /// `HandleQueue` preserves FIFO order under interleaved push/pop: the
+    /// popped value sequence equals a reference `VecDeque`'s, and lengths
+    /// agree at every step.
+    #[test]
+    fn handle_queue_is_fifo(schedule in prop::collection::vec(queue_ops(), 1..300)) {
+        let mut slab: Slab<u32> = Slab::new();
+        let mut queue: HandleQueue<u32> = HandleQueue::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in &schedule {
+            match *op {
+                QueueOp::Push(v) => {
+                    let h = slab.alloc(v);
+                    queue.push_back(&mut slab, h);
+                    model.push_back(v);
+                }
+                QueueOp::Pop => {
+                    let got = queue.pop_front(&mut slab).map(|h| slab.free(h));
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+            prop_assert_eq!(queue.is_empty(), model.is_empty());
+            prop_assert_eq!(
+                queue.front(&slab).map(|h| slab[h]),
+                model.front().copied()
+            );
+        }
+        // Drain: everything left comes out in insertion order.
+        while let Some(h) = queue.pop_front(&mut slab) {
+            prop_assert_eq!(Some(slab.free(h)), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+        prop_assert!(slab.is_empty());
+    }
+}

@@ -603,10 +603,13 @@ impl TrafficSource for DnnTraffic {
     fn on_complete(&mut self, _master: usize, id: u64, _now: Cycle) {
         self.completed += 1;
         let idx = id as usize;
-        // Indexing by a stale clone of `dependents[idx]` avoids holding two
-        // mutable borrows; dependency lists are short.
-        let deps = self.dependents[idx].clone();
-        for d in deps {
+        // Detach the dependency list while walking it (take/restore): no
+        // second mutable borrow and — unlike the old per-retirement
+        // `clone()` — no heap allocation on this hot path. The walk order
+        // is the vec order either way, so resolution order is unchanged
+        // (asserted by `take_restore_matches_clone_resolution_order`).
+        let deps = std::mem::take(&mut self.dependents[idx]);
+        for &d in &deps {
             let r = &mut self.remaining_deps[d as usize];
             *r -= 1;
             if *r == 0 {
@@ -614,6 +617,11 @@ impl TrafficSource for DnnTraffic {
                 self.ready[m].push_back(d);
             }
         }
+        debug_assert!(
+            self.dependents[idx].is_empty(),
+            "dependency list repopulated during resolution"
+        );
+        self.dependents[idx] = deps;
     }
 
     fn is_done(&self) -> bool {
@@ -675,6 +683,62 @@ mod tests {
             assert!(guard < 1_000_000);
         }
         (t.completed(), t.total_bytes())
+    }
+
+    /// The pre-optimization resolver: clone the dependency list, then
+    /// walk it — kept as the oracle the take/restore path must match.
+    fn resolve_with_clone(t: &mut DnnTraffic, id: u64) {
+        t.completed += 1;
+        let deps = t.dependents[id as usize].clone();
+        for d in deps {
+            let r = &mut t.remaining_deps[d as usize];
+            *r -= 1;
+            if *r == 0 {
+                let m = t.entries[d as usize].master;
+                t.ready[m].push_back(d);
+            }
+        }
+    }
+
+    #[test]
+    fn take_restore_matches_clone_resolution_order() {
+        // Drive two identical traces through the same poll schedule: one
+        // retires via the real (take/restore) `on_complete`, the other via
+        // the clone-based oracle. The complete transfer sequence — ids in
+        // poll order per master — must be identical, i.e. dependency
+        // resolution order is unchanged by the allocation-free rewrite.
+        for workload in [
+            DnnWorkload::DistributedTraining,
+            DnnWorkload::ParallelConv,
+            DnnWorkload::PipelinedConv,
+        ] {
+            let cfg = DnnConfig {
+                workload,
+                ..DnnConfig::default()
+            };
+            let mut real = DnnTraffic::new(&cfg);
+            let mut oracle = DnnTraffic::new(&cfg);
+            let masters = real.ready.len();
+            let mut real_seq = Vec::new();
+            let mut oracle_seq = Vec::new();
+            let mut guard = 0;
+            while !real.is_done() || !oracle.is_done() {
+                for m in 0..masters {
+                    while let Some(tr) = real.poll(m, 0) {
+                        real_seq.push(tr.id);
+                        real.on_complete(m, tr.id, 0);
+                    }
+                    while let Some(tr) = oracle.poll(m, 0) {
+                        oracle_seq.push(tr.id);
+                        resolve_with_clone(&mut oracle, tr.id);
+                    }
+                }
+                guard += 1;
+                assert!(guard < 1_000_000, "{workload:?} wedged");
+            }
+            assert_eq!(real_seq, oracle_seq, "order diverged for {workload:?}");
+            assert!(!real_seq.is_empty());
+        }
     }
 
     #[test]
