@@ -1,0 +1,133 @@
+//! Compares two `BENCH_perf.json` artifacts and exits non-zero when the
+//! saturated point of any engine lost more than a threshold fraction of
+//! its activity-mode `cycles_per_sec` — the CI gate that keeps simulator
+//! performance from silently regressing.
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [--threshold F]
+//! ```
+//!
+//! The threshold is a fraction (default 0.05 = 5 %); `BENCH_DIFF_THRESHOLD`
+//! overrides the default from the environment, the flag overrides both.
+//! CI compares against a baseline committed from a different machine, so
+//! its workflow passes a deliberately loose threshold — the tight default
+//! is for like-for-like hardware.
+
+use bench::diff::{compare_saturated, parse_points, Comparison, DEFAULT_THRESHOLD};
+use bench::json::Json;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "usage: bench-diff BASELINE.json CURRENT.json [--threshold F]
+  --threshold F  allowed fractional cycles_per_sec regression at the
+                 saturated point (default: $BENCH_DIFF_THRESHOLD, else 0.05)";
+
+struct Options {
+    baseline: PathBuf,
+    current: PathBuf,
+    threshold: f64,
+}
+
+fn try_parse(
+    args: impl Iterator<Item = String>,
+    env_threshold: Option<&str>,
+) -> Result<Options, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut threshold: Option<f64> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold = Some(parse_threshold(&v)?);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown argument `{flag}`")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let threshold = match (threshold, env_threshold) {
+        (Some(t), _) => t,
+        (None, Some(v)) => parse_threshold(v).map_err(|e| format!("BENCH_DIFF_THRESHOLD: {e}"))?,
+        (None, None) => DEFAULT_THRESHOLD,
+    };
+    match <[PathBuf; 2]>::try_from(paths) {
+        Ok([baseline, current]) => Ok(Options {
+            baseline,
+            current,
+            threshold,
+        }),
+        Err(_) => Err("need exactly two files: BASELINE.json CURRENT.json".into()),
+    }
+}
+
+fn parse_threshold(v: &str) -> Result<f64, String> {
+    match v.parse::<f64>() {
+        Ok(t) if t >= 0.0 && t.is_finite() => Ok(t),
+        _ => Err(format!("invalid threshold `{v}` (need a fraction ≥ 0)")),
+    }
+}
+
+fn load_points(path: &PathBuf) -> Vec<bench::diff::PerfPoint> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {}: {e}", path.display())));
+    parse_points(&doc).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2);
+}
+
+fn main() {
+    let env_threshold = std::env::var("BENCH_DIFF_THRESHOLD").ok();
+    let opts = match try_parse(std::env::args().skip(1), env_threshold.as_deref()) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let baseline = load_points(&opts.baseline);
+    let current = load_points(&opts.current);
+    let comparisons = compare_saturated(&baseline, &current);
+    if comparisons.is_empty() {
+        fail("no engine is measured at a common load in both files");
+    }
+
+    println!(
+        "saturated-point simulator speed vs {} (threshold {:.1}%)",
+        opts.baseline.display(),
+        100.0 * opts.threshold
+    );
+    println!(
+        "{:>16} {:>8} {:>16} {:>16} {:>9}",
+        "engine", "load", "baseline cyc/s", "current cyc/s", "change"
+    );
+    let mut regressions: Vec<&Comparison> = Vec::new();
+    for c in &comparisons {
+        let flag = if c.regressed(opts.threshold) {
+            regressions.push(c);
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:>16} {:>8.3} {:>16.0} {:>16.0} {:>+8.1}%{flag}",
+            c.engine,
+            c.load,
+            c.baseline_cps,
+            c.current_cps,
+            100.0 * c.change()
+        );
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "error: {} saturated point(s) regressed by more than {:.1}%",
+            regressions.len(),
+            100.0 * opts.threshold
+        );
+        exit(1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Comparison of two `BENCH_perf.json` artifacts — the core of the
+//! `bench-diff` binary, factored here so tests exercise exactly the code
+//! CI gates on.
+//!
+//! The contract: for every engine present in both files, the **saturated
+//! point** (the highest load the engine was measured at in both) must not
+//! lose more than a threshold fraction of its activity-mode
+//! `cycles_per_sec` relative to the baseline. Wall clock is noisy across
+//! machines, so the CI threshold is deliberately generous; the default
+//! matches the 5 % gate the acceptance criteria name for like-for-like
+//! hardware.
+
+use crate::json::Json;
+
+/// Default allowed fractional `cycles_per_sec` regression (5 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// One perf point extracted from a `BENCH_perf.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Engine label (`"patronoc"`, `"packet-compact"`).
+    pub engine: String,
+    /// Injected load of the point.
+    pub load: f64,
+    /// Activity-driven stepping speed in simulated cycles per wall second.
+    pub active_cps: f64,
+}
+
+/// One saturated-point comparison between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Engine label.
+    pub engine: String,
+    /// The saturated load both files measured.
+    pub load: f64,
+    /// Baseline activity-mode `cycles_per_sec`.
+    pub baseline_cps: f64,
+    /// Current activity-mode `cycles_per_sec`.
+    pub current_cps: f64,
+}
+
+impl Comparison {
+    /// Fractional change: positive = faster than baseline.
+    #[must_use]
+    pub fn change(&self) -> f64 {
+        self.current_cps / self.baseline_cps - 1.0
+    }
+
+    /// Whether this point regressed by more than `threshold`.
+    #[must_use]
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.change() < -threshold
+    }
+}
+
+fn get<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    match obj {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`")),
+        other => Err(format!("expected an object for `{key}`, got {other:?}")),
+    }
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::F64(v) => Ok(*v),
+        // The writer prints whole floats as integers; the parser reads
+        // them back as U64.
+        #[allow(clippy::cast_precision_loss)]
+        Json::U64(n) => Ok(*n as f64),
+        other => Err(format!("key `{key}` is not a number: {other:?}")),
+    }
+}
+
+fn get_str(obj: &Json, key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(format!("key `{key}` is not a string: {other:?}")),
+    }
+}
+
+/// Extracts the perf points of a parsed `BENCH_perf.json` document.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field, naming the key.
+pub fn parse_points(doc: &Json) -> Result<Vec<PerfPoint>, String> {
+    let figure = get_str(doc, "figure")?;
+    if figure != "perf" {
+        return Err(format!(
+            "not a BENCH_perf.json document (figure `{figure}`)"
+        ));
+    }
+    let Json::Arr(points) = get(doc, "points")? else {
+        return Err("`points` is not an array".into());
+    };
+    points
+        .iter()
+        .map(|p| {
+            Ok(PerfPoint {
+                engine: get_str(p, "engine")?,
+                load: get_f64(p, "load")?,
+                active_cps: get_f64(get(p, "active")?, "cycles_per_sec")?,
+            })
+        })
+        .collect()
+}
+
+/// Pairs up the saturated point of every engine present in **both** files
+/// (the highest load measured in both), in the baseline's engine order.
+#[must_use]
+pub fn compare_saturated(baseline: &[PerfPoint], current: &[PerfPoint]) -> Vec<Comparison> {
+    let mut engines: Vec<&str> = Vec::new();
+    for p in baseline {
+        if !engines.contains(&p.engine.as_str()) {
+            engines.push(&p.engine);
+        }
+    }
+    engines
+        .iter()
+        .filter_map(|&engine| {
+            let at = |points: &[PerfPoint], load: f64| {
+                points
+                    .iter()
+                    .find(|p| p.engine == engine && p.load == load)
+                    .map(|p| p.active_cps)
+            };
+            let saturated = baseline
+                .iter()
+                .filter(|p| p.engine == engine)
+                .map(|p| p.load)
+                .filter(|&load| at(current, load).is_some())
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !saturated.is_finite() {
+                return None;
+            }
+            Some(Comparison {
+                engine: engine.to_string(),
+                load: saturated,
+                baseline_cps: at(baseline, saturated)?,
+                current_cps: at(current, saturated)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(engine: &str, load: f64, cps: f64) -> Json {
+        Json::obj(vec![
+            ("engine", Json::str(engine)),
+            ("load", Json::F64(load)),
+            (
+                "active",
+                Json::obj(vec![("cycles_per_sec", Json::F64(cps))]),
+            ),
+            (
+                "full_sweep",
+                Json::obj(vec![("cycles_per_sec", Json::F64(cps / 2.0))]),
+            ),
+        ])
+    }
+
+    fn doc(points: Vec<Json>) -> Json {
+        Json::obj(vec![
+            ("figure", Json::str("perf")),
+            ("points", Json::Arr(points)),
+        ])
+    }
+
+    #[test]
+    fn parses_the_perf_schema() {
+        let d = doc(vec![
+            point("patronoc", 0.001, 5e6),
+            point("patronoc", 1.0, 1e6),
+        ]);
+        let pts = parse_points(&d).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].engine, "patronoc");
+        assert_eq!(pts[1].load, 1.0);
+        assert_eq!(pts[1].active_cps, 1e6);
+    }
+
+    #[test]
+    fn rejects_other_figures() {
+        let d = Json::obj(vec![
+            ("figure", Json::str("fig4")),
+            ("points", Json::Arr(vec![])),
+        ]);
+        assert!(parse_points(&d).unwrap_err().contains("fig4"));
+    }
+
+    #[test]
+    fn compares_the_saturated_point_per_engine() {
+        let base = parse_points(&doc(vec![
+            point("patronoc", 0.001, 5e6),
+            point("patronoc", 1.0, 1e6),
+            point("packet-compact", 1.0, 2e6),
+        ]))
+        .unwrap();
+        let cur = parse_points(&doc(vec![
+            point("patronoc", 0.001, 9e6),
+            point("patronoc", 1.0, 0.9e6),
+            point("packet-compact", 1.0, 2.2e6),
+        ]))
+        .unwrap();
+        let cmp = compare_saturated(&base, &cur);
+        assert_eq!(cmp.len(), 2);
+        // The idle point's 9e6 must not leak in: only load 1.0 compares.
+        assert_eq!(cmp[0].engine, "patronoc");
+        assert_eq!(cmp[0].load, 1.0);
+        assert!((cmp[0].change() + 0.1).abs() < 1e-12, "{}", cmp[0].change());
+        assert!(cmp[0].regressed(0.05));
+        assert!(!cmp[0].regressed(0.15));
+        assert!(!cmp[1].regressed(0.05), "packet sped up");
+    }
+
+    #[test]
+    fn engines_missing_from_either_side_are_skipped() {
+        let base = parse_points(&doc(vec![point("patronoc", 1.0, 1e6)])).unwrap();
+        let cur = parse_points(&doc(vec![point("packet-compact", 1.0, 1e6)])).unwrap();
+        assert!(compare_saturated(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn saturated_means_highest_load_present_in_both() {
+        // Current lacks the 1.0 point (a shortened sweep): the comparison
+        // falls back to the highest shared load instead of vanishing.
+        let base = parse_points(&doc(vec![
+            point("patronoc", 0.3, 3e6),
+            point("patronoc", 1.0, 1e6),
+        ]))
+        .unwrap();
+        let cur = parse_points(&doc(vec![point("patronoc", 0.3, 3e6)])).unwrap();
+        let cmp = compare_saturated(&base, &cur);
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].load, 0.3);
+        assert!(!cmp[0].regressed(DEFAULT_THRESHOLD));
+    }
+}

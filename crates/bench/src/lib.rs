@@ -14,6 +14,7 @@ use scenario::{PacketProfile, Scenario, TrafficSpec};
 use simkit::StopReason;
 use traffic::{DnnWorkload, SyntheticPattern};
 
+pub mod diff;
 pub mod json;
 pub mod perf;
 pub mod sweep;

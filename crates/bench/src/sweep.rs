@@ -25,10 +25,17 @@ use std::path::PathBuf;
 /// Environment variable overriding the default worker count for all sweeps.
 pub const JOBS_ENV: &str = "BENCH_JOBS";
 
-const USAGE: &str = "usage: <bin> [--jobs N] [--json PATH] [--quick]
+/// Environment variable overriding the default per-simulation region-shard
+/// thread count (`Scenario::threads`) for all sweeps.
+pub const THREADS_ENV: &str = "BENCH_THREADS";
+
+const USAGE: &str = "usage: <bin> [--jobs N] [--threads N] [--json PATH] [--quick]
   --jobs N     worker threads for the sweep grid (default: $BENCH_JOBS,
                else the machine's available parallelism); results are
                bit-identical for every N
+  --threads N  region-shard threads inside each simulation (default:
+               $BENCH_THREADS, else 1); results are bit-identical for
+               every N
   --json PATH  also write machine-readable results (BENCH_<fig>.json style)
   --quick      coarse fast sweep (same as setting the binary's <FIG>_QUICK
                environment variable)";
@@ -38,6 +45,9 @@ const USAGE: &str = "usage: <bin> [--jobs N] [--json PATH] [--quick]
 pub struct SweepOptions {
     /// Worker threads used by [`run_points`](Self::run_points).
     pub jobs: usize,
+    /// Region-shard threads inside each simulation
+    /// (`Scenario::threads`); like `jobs`, a wall-clock-only knob.
+    pub threads: usize,
     /// Where to write the machine-readable results, if requested.
     pub json: Option<PathBuf>,
     /// Whether to run the reduced-budget sweep.
@@ -54,7 +64,13 @@ impl SweepOptions {
     pub fn parse(quick_env: &str) -> Self {
         let env_quick = std::env::var_os(quick_env).is_some();
         let env_jobs = std::env::var(JOBS_ENV).ok();
-        match Self::try_parse(std::env::args().skip(1), env_quick, env_jobs.as_deref()) {
+        let env_threads = std::env::var(THREADS_ENV).ok();
+        match Self::try_parse(
+            std::env::args().skip(1),
+            env_quick,
+            env_jobs.as_deref(),
+            env_threads.as_deref(),
+        ) {
             Ok(opts) => opts,
             Err(msg) => {
                 eprintln!("error: {msg}\n{USAGE}");
@@ -68,8 +84,10 @@ impl SweepOptions {
         args: impl Iterator<Item = String>,
         env_quick: bool,
         env_jobs: Option<&str>,
+        env_threads: Option<&str>,
     ) -> Result<Self, String> {
         let mut jobs: Option<usize> = None;
+        let mut threads: Option<usize> = None;
         let mut json = None;
         let mut quick = env_quick;
         let mut args = args.peekable();
@@ -78,6 +96,10 @@ impl SweepOptions {
                 "--jobs" => {
                     let v = args.next().ok_or("--jobs needs a value")?;
                     jobs = Some(parse_jobs(&v)?);
+                }
+                "--threads" => {
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    threads = Some(parse_jobs(&v)?);
                 }
                 "--json" => {
                     let v = args.next().ok_or("--json needs a path")?;
@@ -92,7 +114,17 @@ impl SweepOptions {
             (None, Some(v)) => parse_jobs(v).map_err(|e| format!("{JOBS_ENV}: {e}"))?,
             (None, None) => pool::default_jobs(),
         };
-        Ok(Self { jobs, json, quick })
+        let threads = match (threads, env_threads) {
+            (Some(n), _) => n,
+            (None, Some(v)) => parse_jobs(v).map_err(|e| format!("{THREADS_ENV}: {e}"))?,
+            (None, None) => 1,
+        };
+        Ok(Self {
+            jobs,
+            threads,
+            json,
+            quick,
+        })
     }
 
     /// Runs `f` over every point of the grid across [`jobs`](Self::jobs)
@@ -170,8 +202,9 @@ mod tests {
 
     #[test]
     fn defaults_without_flags_or_env() {
-        let opts = SweepOptions::try_parse(argv(&[]), false, None).unwrap();
+        let opts = SweepOptions::try_parse(argv(&[]), false, None, None).unwrap();
         assert_eq!(opts.jobs, pool::default_jobs());
+        assert_eq!(opts.threads, 1);
         assert!(opts.json.is_none());
         assert!(!opts.quick);
     }
@@ -179,28 +212,47 @@ mod tests {
     #[test]
     fn flags_parse() {
         let opts = SweepOptions::try_parse(
-            argv(&["--jobs", "4", "--json", "out.json", "--quick"]),
+            argv(&[
+                "--jobs",
+                "4",
+                "--threads",
+                "2",
+                "--json",
+                "out.json",
+                "--quick",
+            ]),
             false,
+            None,
             None,
         )
         .unwrap();
         assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.threads, 2);
         assert_eq!(opts.json.as_deref(), Some(std::path::Path::new("out.json")));
         assert!(opts.quick);
     }
 
     #[test]
     fn jobs_flag_overrides_env() {
-        let opts = SweepOptions::try_parse(argv(&["--jobs", "2"]), false, Some("8")).unwrap();
+        let opts = SweepOptions::try_parse(argv(&["--jobs", "2"]), false, Some("8"), None).unwrap();
         assert_eq!(opts.jobs, 2);
-        let opts = SweepOptions::try_parse(argv(&[]), false, Some("8")).unwrap();
+        let opts = SweepOptions::try_parse(argv(&[]), false, Some("8"), None).unwrap();
         assert_eq!(opts.jobs, 8);
+    }
+
+    #[test]
+    fn threads_flag_overrides_env() {
+        let opts =
+            SweepOptions::try_parse(argv(&["--threads", "4"]), false, None, Some("2")).unwrap();
+        assert_eq!(opts.threads, 4);
+        let opts = SweepOptions::try_parse(argv(&[]), false, None, Some("2")).unwrap();
+        assert_eq!(opts.threads, 2);
     }
 
     #[test]
     fn quick_env_sets_quick() {
         assert!(
-            SweepOptions::try_parse(argv(&[]), true, None)
+            SweepOptions::try_parse(argv(&[]), true, None, None)
                 .unwrap()
                 .quick
         );
@@ -212,15 +264,18 @@ mod tests {
             vec!["--jobs"],
             vec!["--jobs", "0"],
             vec!["--jobs", "many"],
+            vec!["--threads"],
+            vec!["--threads", "0"],
             vec!["--json"],
             vec!["--frobnicate"],
         ] {
             assert!(
-                SweepOptions::try_parse(argv(&bad), false, None).is_err(),
+                SweepOptions::try_parse(argv(&bad), false, None, None).is_err(),
                 "{bad:?} should be rejected"
             );
         }
-        assert!(SweepOptions::try_parse(argv(&[]), false, Some("zero")).is_err());
+        assert!(SweepOptions::try_parse(argv(&[]), false, Some("zero"), None).is_err());
+        assert!(SweepOptions::try_parse(argv(&[]), false, None, Some("-1")).is_err());
     }
 
     #[test]

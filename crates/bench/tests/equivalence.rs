@@ -385,9 +385,10 @@ fn synthetic_cfg(load: f64) -> SyntheticConfig {
 /// Idle / mid / saturated operating points.
 const LOADS: [f64; 3] = [0.001, 0.3, 1.0];
 
-fn run_patronoc_uniform(load: f64, i: usize) -> Golden {
+fn run_patronoc_uniform(load: f64, i: usize, threads: usize) -> Golden {
     let axi = AxiParams::new(32, 32, 4, 8).expect("valid parameters");
-    let cfg = NocConfig::new(axi, Topology::mesh4x4());
+    let mut cfg = NocConfig::new(axi, Topology::mesh4x4());
+    cfg.threads = threads;
     let mut sim = NocSim::new(cfg).expect("valid configuration");
     let mut src = UniformRandom::new_copies(golden_uniform_cfg(
         load,
@@ -418,8 +419,11 @@ fn run_patronoc_dnn(workload: DnnWorkload) -> Golden {
     Golden::of(&sim.run(&mut src, 500_000_000, 0))
 }
 
-fn run_packet_uniform(load: f64) -> Golden {
-    let mut sim = PacketNocSim::new(PacketNocConfig::noxim_compact());
+fn run_packet_uniform(load: f64, threads: usize) -> Golden {
+    let mut sim = PacketNocSim::new(PacketNocConfig {
+        threads,
+        ..PacketNocConfig::noxim_compact()
+    });
     let mut src = UniformRandom::new(golden_uniform_cfg(load, 100, 77));
     Golden::of(&sim.run(&mut src, WARMUP + WINDOW, WARMUP))
 }
@@ -458,32 +462,79 @@ const fn golden(
     }
 }
 
+/// Pinned pre-refactor reports for PATRONoC uniform at the three loads.
+const PATRONOC_UNIFORM_GOLDENS: [Golden; 3] = [
+    golden(12000, 1199, 3, 256, 0x3fbc961d80000000, 0x405faaaaaaaaaaab),
+    golden(
+        12000,
+        180200,
+        421,
+        1024,
+        0x4030c84d84000000,
+        0x407392a90b8dae85,
+    ),
+    golden(
+        12000,
+        201192,
+        493,
+        2048,
+        0x4032bcca84000000,
+        0x40778fa49bc7eb3b,
+    ),
+];
+
+/// Pinned pre-refactor reports for the packet baseline uniform grid.
+const PACKET_UNIFORM_GOLDENS: [Golden; 3] = [
+    golden(12000, 1152, 21, 64, 0x3fbb774000000000, 0x40266d79435e50d8),
+    golden(
+        12000,
+        32522,
+        754,
+        256,
+        0x40083b1448000000,
+        0x40419c3c2ff77209,
+    ),
+    golden(
+        12000,
+        33826,
+        780,
+        256,
+        0x400933cc28000000,
+        0x4040f546a8706c7e,
+    ),
+];
+
 #[test]
 fn patronoc_uniform_matches_pre_refactor_reports() {
-    let expected = [
-        golden(12000, 1199, 3, 256, 0x3fbc961d80000000, 0x405faaaaaaaaaaab),
-        golden(
-            12000,
-            180200,
-            421,
-            1024,
-            0x4030c84d84000000,
-            0x407392a90b8dae85,
-        ),
-        golden(
-            12000,
-            201192,
-            493,
-            2048,
-            0x4032bcca84000000,
-            0x40778fa49bc7eb3b,
-        ),
-    ];
     for (i, &load) in LOADS.iter().enumerate() {
         assert_eq!(
-            run_patronoc_uniform(load, i),
-            expected[i],
+            run_patronoc_uniform(load, i, 1),
+            PATRONOC_UNIFORM_GOLDENS[i],
             "patronoc uniform diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_match_the_pinned_goldens() {
+    // Region-sharded execution must reproduce the pre-refactor golden
+    // reports bit for bit — not merely match a fresh serial run. The
+    // thread count comes from `BENCH_THREADS` (CI runs the suite at 2);
+    // default 2 so a plain `cargo test` exercises sharding too.
+    let threads = std::env::var("BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2);
+    for (i, &load) in LOADS.iter().enumerate() {
+        assert_eq!(
+            run_patronoc_uniform(load, i, threads),
+            PATRONOC_UNIFORM_GOLDENS[i],
+            "sharded patronoc uniform diverged at load {load} ({threads} threads)"
+        );
+        assert_eq!(
+            run_packet_uniform(load, threads),
+            PACKET_UNIFORM_GOLDENS[i],
+            "sharded packet uniform diverged at load {load} ({threads} threads)"
         );
     }
 }
@@ -553,29 +604,10 @@ fn patronoc_dnn_matches_pre_refactor_reports() {
 
 #[test]
 fn packet_uniform_matches_pre_refactor_reports() {
-    let expected = [
-        golden(12000, 1152, 21, 64, 0x3fbb774000000000, 0x40266d79435e50d8),
-        golden(
-            12000,
-            32522,
-            754,
-            256,
-            0x40083b1448000000,
-            0x40419c3c2ff77209,
-        ),
-        golden(
-            12000,
-            33826,
-            780,
-            256,
-            0x400933cc28000000,
-            0x4040f546a8706c7e,
-        ),
-    ];
     for (i, &load) in LOADS.iter().enumerate() {
         assert_eq!(
-            run_packet_uniform(load),
-            expected[i],
+            run_packet_uniform(load, 1),
+            PACKET_UNIFORM_GOLDENS[i],
             "packet uniform diverged at load {load}"
         );
     }

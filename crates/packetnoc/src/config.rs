@@ -1,5 +1,7 @@
 //! Baseline NoC configuration (the paper's two Noxim setups).
 
+use simkit::SaturateThresholds;
+
 /// Configuration of the packet-based baseline NoC.
 ///
 /// Defaults mirror the paper's Noxim runs: 4×4 mesh, XY routing, 32-bit
@@ -42,6 +44,16 @@ pub struct PacketNocConfig {
     /// active path is cross-checked against in
     /// `crates/bench/tests/equivalence.rs`.
     pub full_sweep: bool,
+    /// Worker threads for region-sharded execution of this one simulation
+    /// (1 = serial). The mesh is split into contiguous row bands, one
+    /// worker each; results are bit-identical at any thread count — the
+    /// equivalence suite pins that — so this knob trades wall clock only.
+    pub threads: usize,
+    /// Two-regime scheduler thresholds (saturated-regime entry/exit). The
+    /// default reproduces the previously hard-coded
+    /// [`simkit::sched::SATURATE_ENTER`] / [`simkit::sched::SATURATE_EXIT`]
+    /// fractions bit-for-bit.
+    pub saturate: SaturateThresholds,
 }
 
 impl PacketNocConfig {
@@ -59,6 +71,8 @@ impl PacketNocConfig {
             router_extra_latency: 2,
             ni_queue_cap: 64,
             full_sweep: false,
+            threads: 1,
+            saturate: SaturateThresholds::default(),
         }
     }
 
@@ -93,6 +107,7 @@ impl PacketNocConfig {
         assert!(self.packet_flits >= 2, "need head + at least one more flit");
         assert!(self.payload_per_packet >= 1, "packet must carry payload");
         assert!(self.ni_queue_cap >= 1, "NI queue must hold a transfer");
+        assert!(self.threads >= 1, "need at least one worker thread");
     }
 }
 

@@ -11,7 +11,10 @@
 use crate::config::PacketNocConfig;
 use crate::ni::NetworkInterface;
 use crate::router::{Flit, FlitKind, Port, Router, LOCAL, PORTS};
+use crate::shard::{ShardBufView, Sharding};
 use crate::txn::TxRecord;
+use simkit::pool::{crew_scope, Crew};
+use simkit::region::{DisjointSlots, RegionMap};
 use simkit::sched::ActiveSet;
 use simkit::slab::SlabStats;
 use simkit::{
@@ -27,10 +30,19 @@ pub struct PacketNocSim {
     routers: Vec<Router>,
     bufs: Vec<Fifo<Flit>>,
     nis: Vec<NetworkInterface>,
-    /// Arena of every in-flight transfer: allocated at injection
-    /// ([`poll_stimulus`](Self::poll_stimulus)), its handle carried by
-    /// every flit of the transfer, freed when the last tail delivers.
-    txs: Slab<TxRecord>,
+    /// Arena of every in-flight transfer — one slab per region (a single
+    /// slab when serial, preserving the historical allocation sequence):
+    /// allocated at injection ([`poll_stimulus`](Self::poll_stimulus)) in
+    /// the *source* node's region, its handle carried by every flit of the
+    /// transfer, freed when the last tail delivers (the flit's `src` names
+    /// the owning slab).
+    txs: Vec<Slab<TxRecord>>,
+    /// node → region owning its NI's transaction records (all zeros when
+    /// serial).
+    node_region: Vec<u32>,
+    /// The region partition when `cfg.threads > 1` splits the mesh into
+    /// more than one row band; `None` runs the classic serial sweeps.
+    sharding: Option<Sharding>,
     now: Cycle,
     meter: ThroughputMeter,
     packets_delivered: u64,
@@ -89,12 +101,34 @@ impl PacketNocSim {
             hot_nis.insert(i);
             hot_routers.insert(i);
         }
+        let map = RegionMap::new(cfg.cols, cfg.rows, cfg.threads.max(1));
+        let sharding = (cfg.threads > 1 && map.regions() > 1).then(|| {
+            // The router pushing into input port `p` of `node` is the
+            // neighbour in direction `p` (its opposite-facing output).
+            let (cols, rows) = (cfg.cols, cfg.rows);
+            let ports = [Port::North, Port::East, Port::South, Port::West];
+            Sharding::new(&map, cfg.vcs, &|node, p| {
+                Self::neighbor(cols, rows, node, ports[p])
+            })
+        });
+        let regions = sharding.as_ref().map_or(1, |s| s.ctxs.len());
+        let node_region = (0..n)
+            .map(|i| {
+                if sharding.is_some() {
+                    u32::try_from(map.region_of(i)).expect("region fits u32")
+                } else {
+                    0
+                }
+            })
+            .collect();
         Self {
             cfg,
             routers,
             bufs,
             nis,
-            txs: Slab::new(),
+            txs: (0..regions).map(|_| Slab::new()).collect(),
+            node_region,
+            sharding,
             now: 0,
             meter: ThroughputMeter::new(0),
             packets_delivered: 0,
@@ -173,13 +207,41 @@ impl PacketNocSim {
         warmup: Cycle,
     ) -> SimReport {
         self.begin_measurement(self.now + warmup);
+        if self.sharding.is_some() {
+            // Sharded cycles are parallel full sweeps: there is no per-item
+            // activity tracking across regions, so run in the saturated
+            // regime (empty sets, full-sweep semantics). Serial stepping
+            // after this run remains exact — the saturated regime is a
+            // legal scheduler state it knows how to leave.
+            self.saturated = true;
+            self.hot_bufs.clear();
+            self.hot_nis.clear();
+            self.hot_routers.clear();
+            let workers = self.sharding.as_ref().map_or(1, |s| s.ctxs.len());
+            crew_scope(workers, |crew| {
+                self.run_loop(source, max_cycles, Some(crew))
+            })
+        } else {
+            self.run_loop(source, max_cycles, None)
+        }
+    }
+
+    fn run_loop<S: TrafficSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        max_cycles: Cycle,
+        crew: Option<&Crew<'_>>,
+    ) -> SimReport {
         let deadline = self.now + max_cycles;
         self.stop_reason = StopReason::Budget;
         let mut watchdog = ProgressWatchdog::new(self.now, self.progress_marker());
         let wall_start = std::time::Instant::now();
         let first_cycle = self.now;
         while self.now < deadline {
-            self.step(source);
+            match crew {
+                Some(crew) => self.step_sharded(source, crew),
+                None => self.step(source),
+            }
             if let Some(since) = watchdog.observe(self.now, self.progress_marker()) {
                 if self.is_drained() {
                     // Not a stall: merely idle between sparse arrivals.
@@ -235,6 +297,7 @@ impl PacketNocSim {
             } else {
                 0.0
             },
+            threads: self.cfg.threads,
             slab_high_water: slab.high_water,
             allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
         }
@@ -243,7 +306,7 @@ impl PacketNocSim {
     /// Whether no packet is in flight and all NIs are idle.
     #[must_use]
     pub fn is_drained(&self) -> bool {
-        self.txs.is_empty() && self.nis.iter().all(NetworkInterface::is_idle)
+        self.txs.iter().all(Slab::is_empty) && self.nis.iter().all(NetworkInterface::is_idle)
     }
 
     /// Telemetry of the in-flight-transfer arena — what
@@ -251,7 +314,10 @@ impl PacketNocSim {
     /// [`SimReport::allocs_per_kilocycle`] are derived from.
     #[must_use]
     pub fn allocation_stats(&self) -> SlabStats {
-        self.txs.stats()
+        self.txs
+            .iter()
+            .map(Slab::stats)
+            .fold(SlabStats::default(), SlabStats::merge)
     }
 
     /// Cumulative scheduler work: buffer refreshes plus NI/router steps,
@@ -292,11 +358,13 @@ impl PacketNocSim {
                 let Some(t) = source.poll(node, self.now) else {
                     break;
                 };
-                // The transaction's single allocation: one arena record,
-                // carried by handle in every flit until retirement.
+                // The transaction's single allocation: one arena record in
+                // the source node's region, carried by handle in every
+                // flit until retirement.
                 let packets = self.nis[node].packets_for(t.bytes);
-                let h = self.txs.alloc(TxRecord::new(node, t, packets));
-                self.nis[node].enqueue(&mut self.txs, h);
+                let txs = &mut self.txs[self.node_region[node] as usize];
+                let h = txs.alloc(TxRecord::new(node, t, packets));
+                self.nis[node].enqueue(txs, h);
                 wake(node);
             }
         }
@@ -310,11 +378,13 @@ impl PacketNocSim {
         if f.kind == FlitKind::Tail {
             self.packets_delivered += 1;
             self.latency.record(self.now.saturating_sub(f.injected_at));
-            let tx = &mut self.txs[f.tx];
+            // The record lives in the *source* node's region slab.
+            let txs = &mut self.txs[self.node_region[f.src] as usize];
+            let tx = &mut txs[f.tx];
             tx.undelivered -= 1;
             if tx.undelivered == 0 {
                 // Retirement: the last tail frees the arena record.
-                let tx = self.txs.free(f.tx);
+                let tx = txs.free(f.tx);
                 self.transfers_completed += 1;
                 completions.push((tx.src, tx.transfer.id));
             }
@@ -339,7 +409,8 @@ impl PacketNocSim {
         for node in 0..self.cfg.num_nodes() {
             let bufs = &mut self.bufs;
             let now = self.now;
-            self.nis[node].step(now, vcs, &mut self.txs, |vc, flit| {
+            let txs = &mut self.txs[self.node_region[node] as usize];
+            self.nis[node].step(now, vcs, txs, |vc, flit| {
                 let idx = Router::buf_index(node, LOCAL, vc, vcs);
                 bufs[idx].push(flit).is_ok()
             });
@@ -348,7 +419,7 @@ impl PacketNocSim {
         let neighbor = move |node: usize, p: Port| Self::neighbor(cols, rows, node, p);
         let mut completions: Vec<(usize, u64)> = Vec::new();
         for ri in 0..self.routers.len() {
-            let delivered = self.routers[ri].step(&mut self.bufs, &neighbor, &mut |_| {});
+            let delivered = self.routers[ri].step(self.bufs.as_mut_slice(), &neighbor, &mut |_| {});
             for d in delivered {
                 self.on_delivery(d.flit, &mut completions);
             }
@@ -390,14 +461,18 @@ impl PacketNocSim {
             let live = self.step_full(source);
             // Counterfactual precise-mode cost ≈ live buffers + every NI
             // and router.
-            if simkit::sched::should_desaturate(live + comps, full_items) {
+            if self
+                .cfg
+                .saturate
+                .should_desaturate(live + comps, full_items)
+            {
                 self.saturated = false;
                 self.rebuild_sets();
             }
             return;
         }
         let tracked = self.step_tracked(source);
-        if simkit::sched::should_saturate(tracked, full_items) {
+        if self.cfg.saturate.should_saturate(tracked, full_items) {
             self.saturated = true;
             self.hot_bufs.clear();
             self.hot_nis.clear();
@@ -446,7 +521,8 @@ impl PacketNocSim {
             let bufs = &mut self.bufs;
             let hot_bufs = &mut self.hot_bufs;
             let now = self.now;
-            self.nis[node].step(now, vcs, &mut self.txs, |vc, flit| {
+            let txs = &mut self.txs[self.node_region[node] as usize];
+            self.nis[node].step(now, vcs, txs, |vc, flit| {
                 let idx = Router::buf_index(node, LOCAL, vc, vcs);
                 let accepted = bufs[idx].push(flit).is_ok();
                 if accepted {
@@ -467,7 +543,9 @@ impl PacketNocSim {
         for &ri in &routers_now {
             let hot_bufs = &mut self.hot_bufs;
             let delivered =
-                self.routers[ri].step(&mut self.bufs, &neighbor, &mut |didx| hot_bufs.insert(didx));
+                self.routers[ri].step(self.bufs.as_mut_slice(), &neighbor, &mut |didx| {
+                    hot_bufs.insert(didx);
+                });
             for d in delivered {
                 self.on_delivery(d.flit, &mut completions);
             }
@@ -480,6 +558,98 @@ impl PacketNocSim {
         self.scratch_routers = routers_now;
         self.now += 1;
         tracked
+    }
+
+    /// One region-sharded cycle (see [`crate::shard`]): a serial pre-phase
+    /// refreshes boundary buffers and hands each pushing region a credit
+    /// mirror, every region then sweeps its row band on its own worker,
+    /// and a serial commit replays boundary pushes in ascending buffer
+    /// order and delivery bookkeeping in ascending region (= ascending
+    /// node) order — bit-identical to the serial full sweep.
+    fn step_sharded<S: TrafficSource + ?Sized>(&mut self, source: &mut S, crew: &Crew<'_>) {
+        let mut sharding = self
+            .sharding
+            .take()
+            .expect("step_sharded without a partition");
+        let vcs = self.cfg.vcs;
+        let (cols, rows) = (self.cfg.cols, self.cfg.rows);
+        self.work_items += (self.bufs.len() + 2 * self.nis.len()) as u64;
+        // Serial pre-phase: refresh boundary buffers and capture their
+        // fresh snapshots into the pushing regions' credit mirrors.
+        for &(b, pr) in &sharding.boundary {
+            self.bufs[b].begin_cycle();
+            let ctx = &mut sharding.ctxs[pr as usize];
+            let mi = ctx.mirror_of[b] as usize;
+            ctx.mirrors[mi].capture(&self.bufs[b]);
+        }
+        self.poll_stimulus(source, |_| {});
+        {
+            let bufs = DisjointSlots::new(&mut self.bufs);
+            let routers = DisjointSlots::new(&mut self.routers);
+            let nis = DisjointSlots::new(&mut self.nis);
+            let txs = DisjointSlots::new(&mut self.txs);
+            let ctxs = DisjointSlots::new(&mut sharding.ctxs);
+            let node_region = self.node_region.as_slice();
+            let now = self.now;
+            let neighbor = move |node: usize, p: Port| Self::neighbor(cols, rows, node, p);
+            crew.run(&|r| {
+                // SAFETY (all accesses below): region `r` runs on exactly
+                // one worker, and a region's context, transaction slab,
+                // NIs, routers and non-boundary buffers are touched by
+                // that worker alone — the partition is disjoint by
+                // construction, and foreign buffers resolve to mirrors.
+                let ctx = unsafe { ctxs.get_mut(r) };
+                for &b in &ctx.interior_bufs {
+                    unsafe { bufs.get_mut(b) }.begin_cycle();
+                }
+                let region_txs = unsafe { txs.get_mut(r) };
+                for node in ctx.nodes.clone() {
+                    let ni = unsafe { nis.get_mut(node) };
+                    ni.step(now, vcs, region_txs, |vc, flit| {
+                        // The NI always injects into its own node's LOCAL
+                        // input buffer — never across a region boundary.
+                        let idx = Router::buf_index(node, LOCAL, vc, vcs);
+                        unsafe { bufs.get_mut(idx) }.push(flit).is_ok()
+                    });
+                }
+                let mut view = ShardBufView {
+                    bufs: &bufs,
+                    node_region,
+                    bufs_per_node: PORTS * vcs,
+                    region: u32::try_from(r).expect("region fits u32"),
+                    mirror_of: &ctx.mirror_of,
+                    mirrors: &mut ctx.mirrors,
+                };
+                for node in ctx.nodes.clone() {
+                    let delivered =
+                        unsafe { routers.get_mut(node) }.step(&mut view, &neighbor, &mut |_| {});
+                    ctx.deliveries.extend(delivered);
+                }
+            });
+        }
+        // Serial commit: boundary pushes in ascending buffer order, then
+        // delivery bookkeeping region by region — regions are ascending
+        // node bands swept in ascending router order, so this is exactly
+        // the serial sweep's ascending-node delivery sequence.
+        for &(b, pr) in &sharding.boundary {
+            let ctx = &mut sharding.ctxs[pr as usize];
+            let mi = ctx.mirror_of[b] as usize;
+            ctx.mirrors[mi].commit(&mut self.bufs[b]);
+        }
+        let mut completions: Vec<(usize, u64)> = Vec::new();
+        for r in 0..sharding.ctxs.len() {
+            let mut deliveries = std::mem::take(&mut sharding.ctxs[r].deliveries);
+            for d in deliveries.drain(..) {
+                self.on_delivery(d.flit, &mut completions);
+            }
+            // Hand the (empty) allocation back for the next cycle.
+            sharding.ctxs[r].deliveries = deliveries;
+        }
+        for (src, id) in completions {
+            source.on_complete(src, id, self.now);
+        }
+        self.now += 1;
+        self.sharding = Some(sharding);
     }
 }
 
@@ -715,6 +885,61 @@ mod tests {
             assert_eq!(fr, ar, "report differs at load {load}");
             assert_eq!(fp, ap, "packet count differs at load {load}");
         }
+    }
+
+    /// Runs the same Poisson workload region-sharded across `threads`
+    /// workers.
+    fn run_threaded(threads: usize, load: f64, window: u64) -> (simkit::SimReport, u64) {
+        let cfg = PacketNocConfig {
+            threads,
+            ..PacketNocConfig::noxim_high_performance()
+        };
+        let mut sim = PacketNocSim::new(cfg);
+        let mut src = traffic::UniformRandom::new(traffic::UniformConfig {
+            masters: 16,
+            slaves: (0..16).collect(),
+            load,
+            bytes_per_cycle: 4.0,
+            max_transfer: 100,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed: 0x5EED,
+        });
+        let report = sim.run(&mut src, window, window / 5);
+        (report, sim.packets_delivered())
+    }
+
+    #[test]
+    fn sharded_stepping_is_bit_identical_to_serial() {
+        for load in [0.001, 0.3, 1.0] {
+            let serial = run_threaded(1, load, 20_000);
+            for threads in [2, 3, 4, 8] {
+                let sharded = run_threaded(threads, load, 20_000);
+                assert_eq!(
+                    serial, sharded,
+                    "results differ at load {load} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sim_can_keep_stepping_serially_after_a_run() {
+        // A sharded run leaves the scheduler in the saturated regime;
+        // manual serial stepping afterwards must still drain correctly.
+        let cfg = PacketNocConfig {
+            threads: 4,
+            ..PacketNocConfig::noxim_compact()
+        };
+        let mut sim = PacketNocSim::new(cfg);
+        let mut src = OneEach::new(16, 100);
+        sim.run(&mut src, 64, 0); // stop with packets still in flight
+        assert!(!sim.is_drained(), "the run window was chosen mid-flight");
+        while !(src.is_done() && sim.is_drained()) {
+            sim.step(&mut src);
+            assert!(sim.now() < 1_000_000, "serial drain stalled");
+        }
+        assert_eq!(src.completed, 16);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod config;
 pub mod engine;
 pub mod ni;
 pub mod router;
+pub mod shard;
 pub mod txn;
 
 pub use config::PacketNocConfig;

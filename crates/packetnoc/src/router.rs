@@ -6,8 +6,9 @@
 //! (modelled by pushing directly into the downstream input buffer, whose
 //! two-phase occupancy *is* the credit count).
 
+use crate::shard::BufTable;
 use crate::txn::TxHandle;
-use simkit::{Fifo, RoundRobinArbiter};
+use simkit::RoundRobinArbiter;
 
 /// Flit position within its packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,15 +157,17 @@ impl Router {
     }
 
     /// One switch-allocation cycle: for every output port, forward at most
-    /// one flit from an input VC. `bufs` is the engine's flat buffer array;
-    /// `neighbor` maps an output port to the neighbouring node. Flits
-    /// switched to the local port are returned as deliveries; `on_push` is
-    /// called with the downstream buffer index of every flit forwarded to
-    /// a neighbour — the activity scheduler's precise wake signal (a
-    /// credit-blocked router forwards nothing and wakes nobody).
-    pub fn step(
+    /// one flit from an input VC. `bufs` is the engine's flat buffer array
+    /// — either the real `[Fifo<Flit>]` (serial sweep) or a region's
+    /// `ShardBufView`; `neighbor` maps an
+    /// output port to the neighbouring node. Flits switched to the local
+    /// port are returned as deliveries; `on_push` is called with the
+    /// downstream buffer index of every flit forwarded to a neighbour —
+    /// the activity scheduler's precise wake signal (a credit-blocked
+    /// router forwards nothing and wakes nobody).
+    pub fn step<B: BufTable + ?Sized>(
         &mut self,
-        bufs: &mut [Fifo<Flit>],
+        bufs: &mut B,
         neighbor: &dyn Fn(usize, Port) -> Option<usize>,
         on_push: &mut dyn FnMut(usize),
     ) -> Vec<Delivery> {
@@ -196,7 +199,7 @@ impl Router {
                 }
                 for v in 0..vcs {
                     let bidx = Self::buf_index(self.node, i, v, vcs);
-                    let Some(flit) = bufs[bidx].peek() else {
+                    let Some(flit) = bufs.peek(bidx) else {
                         continue;
                     };
                     // Route check at the head; locks carry body/tail flits.
@@ -216,7 +219,7 @@ impl Router {
                         None => true, // local delivery always accepted
                         Some(nb) => {
                             let didx = Self::buf_index(nb, out_port.opposite().index(), v, vcs);
-                            bufs[didx].can_push()
+                            bufs.can_push(didx)
                         }
                     };
                     if has_credit {
@@ -229,7 +232,7 @@ impl Router {
             };
             let (i, v) = (winner / vcs, winner % vcs);
             let bidx = Self::buf_index(self.node, i, v, vcs);
-            let flit = bufs[bidx].pop().expect("eligible flit exists");
+            let flit = bufs.pop(bidx).expect("eligible flit exists");
             // Update the wormhole lock.
             match flit.kind {
                 FlitKind::Head => self.out_lock[out * vcs + v] = Some(i),
@@ -240,7 +243,7 @@ impl Router {
                 None => delivered.push(Delivery { flit }),
                 Some(nb) => {
                     let didx = Self::buf_index(nb, out_port.opposite().index(), v, vcs);
-                    assert!(bufs[didx].push(flit).is_ok(), "credit checked above");
+                    bufs.push(didx, flit); // credit checked above
                     on_push(didx);
                 }
             }
@@ -253,7 +256,7 @@ impl Router {
 mod tests {
     use super::*;
     use crate::txn::TxRecord;
-    use simkit::Slab;
+    use simkit::{Fifo, Slab};
     use traffic::{Transfer, TransferKind};
 
     /// Allocates a one-packet transfer record so the test flits carry a
@@ -351,8 +354,8 @@ mod tests {
             for b in &mut bufs {
                 b.begin_cycle();
             }
-            delivered.extend(r0.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
-            delivered.extend(r1.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
+            delivered.extend(r0.step(bufs.as_mut_slice(), &two_node_neighbor, &mut |_| {}));
+            delivered.extend(r1.step(bufs.as_mut_slice(), &two_node_neighbor, &mut |_| {}));
         }
         assert_eq!(delivered.len(), 2);
         assert_eq!(delivered[0].flit.kind, FlitKind::Head);
@@ -388,8 +391,8 @@ mod tests {
                 bufs[local0].push(tail(1, tx_a)).unwrap();
                 bufs[north0].push(tail(1, tx_b)).unwrap();
             }
-            delivered.extend(r0.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
-            delivered.extend(r1.step(&mut bufs, &two_node_neighbor, &mut |_| {}));
+            delivered.extend(r0.step(bufs.as_mut_slice(), &two_node_neighbor, &mut |_| {}));
+            delivered.extend(r1.step(bufs.as_mut_slice(), &two_node_neighbor, &mut |_| {}));
         }
         let order: Vec<TxHandle> = delivered.iter().map(|d| d.flit.tx).collect();
         assert_eq!(order.len(), 4);
@@ -420,7 +423,7 @@ mod tests {
             for b in &mut bufs {
                 b.begin_cycle();
             }
-            let _ = r0.step(&mut bufs, &two_node_neighbor, &mut |_| {});
+            let _ = r0.step(bufs.as_mut_slice(), &two_node_neighbor, &mut |_| {});
         }
         // Node 1 never runs: its West input buffer holds exactly 2 flits.
         let west1 = Router::buf_index(1, Port::West.index(), 0, vcs);
@@ -449,7 +452,7 @@ mod tests {
             for b in &mut bufs {
                 b.begin_cycle();
             }
-            let _ = r0.step(&mut bufs, &two_node_neighbor, &mut |_| {});
+            let _ = r0.step(bufs.as_mut_slice(), &two_node_neighbor, &mut |_| {});
             for v in 0..2 {
                 let widx = Router::buf_index(1, Port::West.index(), v, vcs);
                 if let Some(f) = bufs[widx].pop() {

@@ -3,6 +3,7 @@
 use crate::routing::{Connectivity, RoutingAlgorithm};
 use crate::topology::Topology;
 use axi::{AxiParams, ConfigError};
+use simkit::SaturateThresholds;
 
 /// Configuration of one PATRONoC instance plus its evaluation testbench.
 ///
@@ -63,6 +64,18 @@ pub struct NocConfig {
     /// cross-checked, and as a bisection aid if a future change ever
     /// breaks the quiescence contract.
     pub full_sweep: bool,
+    /// Worker threads for region-sharded execution (default 1 = the serial
+    /// cycle loop). With more than one thread the mesh is partitioned into
+    /// contiguous row bands (at most one per row) that step in parallel
+    /// behind a per-cycle barrier; results are **bit-identical** for every
+    /// thread count — the equivalence suite pins that — so this knob trades
+    /// wall clock only.
+    pub threads: usize,
+    /// Two-regime scheduler thresholds (saturated-regime entry/exit). The
+    /// default reproduces the previously hard-coded
+    /// [`simkit::sched::SATURATE_ENTER`] / [`simkit::sched::SATURATE_EXIT`]
+    /// fractions bit-for-bit.
+    pub saturate: SaturateThresholds,
 }
 
 impl NocConfig {
@@ -86,6 +99,8 @@ impl NocConfig {
             masters: (0..n).collect(),
             slaves: (0..n).collect(),
             full_sweep: false,
+            threads: 1,
+            saturate: SaturateThresholds::default(),
         }
     }
 

@@ -193,25 +193,26 @@ impl DmaEngine {
         out.append(&mut self.finished);
     }
 
-    /// Advances one cycle. `txns`/`wstreams` are the engine-owned arenas
-    /// holding this DMA's in-flight records; `meter` accumulates read
-    /// payload delivered to this master (write payload is counted at the
-    /// slave; a copy's read leg is *not* metered — its payload is counted
-    /// once, at the destination). Returns whether the engine remains
-    /// active — i.e. must be stepped again next cycle even if no new beat
-    /// arrives on its link (queued descriptors, an active transfer, or
-    /// outstanding responses). The caller should also mark
-    /// [`link`](Self::link) live, since a step may have pushed request or
-    /// data beats into it.
+    /// Advances one cycle. `link` is the engine's own link
+    /// ([`Self::link`] in the global array — the only link it ever
+    /// touches, which is what lets a region shard hand each DMA just its
+    /// interior link); `txns`/`wstreams` are the arenas holding this DMA's
+    /// in-flight records; `meter` accumulates read payload delivered to
+    /// this master (write payload is counted at the slave; a copy's read
+    /// leg is *not* metered — its payload is counted once, at the
+    /// destination). Returns whether the engine remains active — i.e. must
+    /// be stepped again next cycle even if no new beat arrives on its link
+    /// (queued descriptors, an active transfer, or outstanding responses).
+    /// The caller should also mark [`link`](Self::link) live, since a step
+    /// may have pushed request or data beats into it.
     pub fn step(
         &mut self,
-        links: &mut [AxiLink],
+        link: &mut AxiLink,
         now: Cycle,
         txns: &mut Slab<InflightTransfer>,
         wstreams: &mut Slab<WStream>,
         meter: &mut ThroughputMeter,
     ) -> bool {
-        let link = &mut links[self.link];
         // Write responses.
         if let Some(beat) = link.b.pop() {
             self.wr_guard.complete(beat.id);
@@ -457,12 +458,13 @@ impl MemorySlave {
         self.outstanding_rd == 0 && self.outstanding_wr == 0
     }
 
-    /// Advances one cycle. `meter` accumulates write payload accepted
-    /// here. Returns whether the memory remains active (transactions in
-    /// progress); the caller should also mark [`link`](Self::link) live,
-    /// since a step may have pushed response beats into it.
-    pub fn step(&mut self, links: &mut [AxiLink], now: Cycle, meter: &mut ThroughputMeter) -> bool {
-        let link = &mut links[self.link];
+    /// Advances one cycle. `link` is the memory's own link ([`Self::link`]
+    /// in the global array — its only neighbour); `meter` accumulates
+    /// write payload accepted here. Returns whether the memory remains
+    /// active (transactions in progress); the caller should also mark
+    /// [`link`](Self::link) live, since a step may have pushed response
+    /// beats into it.
+    pub fn step(&mut self, link: &mut AxiLink, now: Cycle, meter: &mut ThroughputMeter) -> bool {
         // Accept one write request.
         if self.outstanding_wr < self.cap {
             if let Some(beat) = link.aw.pop() {
@@ -594,8 +596,8 @@ mod tests {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
-            mem.step(&mut links, now, &mut meter);
+            dma.step(&mut links[0], now, &mut txns, &mut wstreams, &mut meter);
+            mem.step(&mut links[0], now, &mut meter);
             now += 1;
             assert!(now < 1_000_000, "no forward progress");
         }
@@ -686,8 +688,8 @@ mod tests {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
-            mem.step(&mut links, now, &mut meter);
+            dma.step(&mut links[0], now, &mut txns, &mut wstreams, &mut meter);
+            mem.step(&mut links[0], now, &mut meter);
             dma.drain_finished(&mut scratch);
             finished.extend(&scratch);
         }
@@ -710,8 +712,8 @@ mod tests {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
-            mem.step(&mut links, now, &mut meter);
+            dma.step(&mut links[0], now, &mut txns, &mut wstreams, &mut meter);
+            mem.step(&mut links[0], now, &mut meter);
             dma.drain_finished(&mut scratch);
             if !scratch.is_empty() {
                 completion_times.push(now);
@@ -735,7 +737,7 @@ mod tests {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
+            dma.step(&mut links[0], now, &mut txns, &mut wstreams, &mut meter);
             // Drain AR so channel space is never the limit.
             if now % 2 == 0 {
                 links[0].ar.pop();
@@ -764,7 +766,7 @@ mod tests {
                     issued_at: 0,
                 });
             }
-            mem.step(&mut links, now, &mut meter);
+            mem.step(&mut links[0], now, &mut meter);
         }
         // Huge latency means nothing completes: exactly 2 accepted.
         assert_eq!(mem.outstanding_rd, 2);
@@ -790,7 +792,7 @@ mod tests {
             for l in &mut links {
                 l.begin_cycle();
             }
-            mem.step(&mut links, now, &mut meter);
+            mem.step(&mut links[0], now, &mut meter);
             if first_r.is_none() && links[0].r.pop().is_some() {
                 first_r = Some(now);
             }
@@ -814,8 +816,8 @@ mod tests {
             for l in &mut links {
                 l.begin_cycle();
             }
-            dma.step(&mut links, now, &mut txns, &mut wstreams, &mut meter);
-            mem.step(&mut links, now, &mut meter);
+            dma.step(&mut links[0], now, &mut txns, &mut wstreams, &mut meter);
+            mem.step(&mut links[0], now, &mut meter);
             now += 1;
             assert!(now < 10_000);
         }

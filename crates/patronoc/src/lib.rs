@@ -54,6 +54,7 @@ pub mod endpoint;
 pub mod engine;
 pub mod link;
 pub mod routing;
+pub(crate) mod shard;
 pub mod topology;
 pub mod xp;
 

@@ -21,8 +21,10 @@
 //! * **R** — as B, but bursts are forwarded atomically (no beat interleave
 //!   towards one upstream port, matching `axi_mux`'s locked R path).
 
-use crate::link::AxiLink;
-use crate::routing::{routing_table, xp_connectivity, Connectivity, RoutingAlgorithm};
+use crate::link::LinkView;
+use crate::routing::{routing_table, RoutingAlgorithm};
+#[cfg(test)]
+use crate::routing::{xp_connectivity, Connectivity};
 #[cfg(test)]
 use crate::topology::{Dir, LOCAL};
 use crate::topology::{Topology, PORTS};
@@ -104,13 +106,18 @@ pub struct Xp {
 }
 
 impl Xp {
-    /// Builds the crosspoint for `node`, generating its routing table and
-    /// connectivity matrix from the topology and routing algorithm.
+    /// Builds the crosspoint for `node`, generating its routing table from
+    /// the topology and routing algorithm. The connectivity matrix is
+    /// passed in precomputed — when building a whole mesh, derive all of
+    /// them in one route sweep with
+    /// [`crate::routing::connectivity_tables`]; for a standalone XP,
+    /// [`crate::routing::xp_connectivity`] computes a single node's
+    /// matrix.
     #[must_use]
     pub fn new(
         topo: Topology,
         algo: RoutingAlgorithm,
-        connectivity: Connectivity,
+        allowed: [[bool; PORTS]; PORTS],
         node: usize,
         id_width: u32,
         in_links: [Option<usize>; PORTS],
@@ -119,7 +126,7 @@ impl Xp {
         Self {
             node,
             route: routing_table(topo, algo, node),
-            allowed: xp_connectivity(topo, algo, node, connectivity),
+            allowed,
             in_links,
             out_links,
             aw_arb: (0..PORTS).map(|_| RoundRobinArbiter::new(PORTS)).collect(),
@@ -190,7 +197,11 @@ impl Xp {
     /// moved any beat — `false` means the step was a no-op (nothing to
     /// route) and none of its adjacent links were touched, so the
     /// scheduler may leave the neighbourhood asleep.
-    pub fn step(&mut self, links: &mut [AxiLink]) -> bool {
+    ///
+    /// Generic over [`LinkView`] so the identical routing code runs against
+    /// the real link array (serial engine) or a region shard's boundary-
+    /// mirrored view (sharded engine).
+    pub fn step<L: LinkView + ?Sized>(&mut self, links: &mut L) -> bool {
         let mut moved = self.step_requests(links, true);
         moved |= self.step_requests(links, false);
         moved |= self.step_w(links);
@@ -200,16 +211,16 @@ impl Xp {
     }
 
     /// AW (write = true) or AR (write = false) stage.
-    fn step_requests(&mut self, links: &mut [AxiLink], write: bool) -> bool {
+    fn step_requests<L: LinkView + ?Sized>(&mut self, links: &mut L, write: bool) -> bool {
         let mut moved = false;
         for o in 0..PORTS {
             let Some(out_idx) = self.out_links[o] else {
                 continue;
             };
             let out_ready = if write {
-                links[out_idx].aw.can_push()
+                links.aw_can_push(out_idx)
             } else {
-                links[out_idx].ar.can_push()
+                links.ar_can_push(out_idx)
             };
             if !out_ready {
                 continue;
@@ -220,9 +231,9 @@ impl Xp {
                     continue;
                 };
                 let beat = if write {
-                    links[in_idx].aw.peek()
+                    links.aw_peek(in_idx)
                 } else {
-                    links[in_idx].ar.peek()
+                    links.ar_peek(in_idx)
                 };
                 let Some(beat) = beat else { continue };
                 if self.route[beat.dst] as usize != o || !self.allowed[i][o] {
@@ -269,9 +280,9 @@ impl Xp {
             };
             let in_idx = self.in_links[i].expect("eligible input exists");
             let mut beat = if write {
-                links[in_idx].aw.pop()
+                links.aw_pop(in_idx)
             } else {
-                links[in_idx].ar.pop()
+                links.ar_pop(in_idx)
             }
             .expect("eligible beat exists");
             let key = SourceKey {
@@ -285,12 +296,12 @@ impl Xp {
                 debug_assert!(self.w_route[i].is_none(), "one write per input");
                 self.w_route[i] = Some(o);
                 beat.id = rid;
-                links[out_idx].aw.push(beat);
+                links.aw_push(out_idx, beat);
             } else {
                 let rid = self.rd_remap[o].acquire(key).expect("eligibility checked");
                 self.ar_guard[i].issue(beat.id, o);
                 beat.id = rid;
-                links[out_idx].ar.push(beat);
+                links.ar_push(out_idx, beat);
             }
             moved = true;
         }
@@ -298,13 +309,13 @@ impl Xp {
     }
 
     /// W stage: forward write data in AW grant order.
-    fn step_w(&mut self, links: &mut [AxiLink]) -> bool {
+    fn step_w<L: LinkView + ?Sized>(&mut self, links: &mut L) -> bool {
         let mut moved = false;
         for o in 0..PORTS {
             let Some(out_idx) = self.out_links[o] else {
                 continue;
             };
-            if !links[out_idx].w.can_push() {
+            if !links.w_can_push(out_idx) {
                 continue;
             }
             let Some(i) = self.w_order[o].front() else {
@@ -315,11 +326,11 @@ impl Xp {
                 continue;
             }
             let in_idx = self.in_links[i].expect("granted input exists");
-            let Some(beat) = links[in_idx].w.pop() else {
+            let Some(beat) = links.w_pop(in_idx) else {
                 continue;
             };
             let last = beat.last;
-            links[out_idx].w.push(beat);
+            links.w_push(out_idx, beat);
             self.w_beats[o] += 1;
             moved = true;
             if last {
@@ -331,13 +342,13 @@ impl Xp {
     }
 
     /// B stage: route write responses back through the remap tables.
-    fn step_b(&mut self, links: &mut [AxiLink]) -> bool {
+    fn step_b<L: LinkView + ?Sized>(&mut self, links: &mut L) -> bool {
         let mut moved = false;
         for i in 0..PORTS {
             let Some(in_idx) = self.in_links[i] else {
                 continue;
             };
-            if !links[in_idx].b.can_push() {
+            if !links.b_can_push(in_idx) {
                 continue;
             }
             let mut elig = [false; PORTS];
@@ -345,7 +356,7 @@ impl Xp {
                 let Some(out_idx) = self.out_links[o] else {
                     continue;
                 };
-                let Some(beat) = links[out_idx].b.peek() else {
+                let Some(beat) = links.b_peek(out_idx) else {
                     continue;
                 };
                 if let Some(key) = self.wr_remap[o].source_of(beat.id) {
@@ -356,27 +367,27 @@ impl Xp {
                 continue;
             };
             let out_idx = self.out_links[o].expect("eligible output exists");
-            let mut beat = links[out_idx].b.pop().expect("eligible beat exists");
+            let mut beat = links.b_pop(out_idx).expect("eligible beat exists");
             let key = self.wr_remap[o]
                 .source_of(beat.id)
                 .expect("response id is mapped");
             self.wr_remap[o].release(beat.id);
             self.aw_guard[i].complete(key.id);
             beat.id = key.id;
-            links[in_idx].b.push(beat);
+            links.b_push(in_idx, beat);
             moved = true;
         }
         moved
     }
 
     /// R stage: route read data back, keeping bursts atomic per upstream.
-    fn step_r(&mut self, links: &mut [AxiLink]) -> bool {
+    fn step_r<L: LinkView + ?Sized>(&mut self, links: &mut L) -> bool {
         let mut moved = false;
         for i in 0..PORTS {
             let Some(in_idx) = self.in_links[i] else {
                 continue;
             };
-            if !links[in_idx].r.can_push() {
+            if !links.r_can_push(in_idx) {
                 continue;
             }
             let source = match self.r_lock[i] {
@@ -387,7 +398,7 @@ impl Xp {
                         let Some(out_idx) = self.out_links[o] else {
                             continue;
                         };
-                        let Some(beat) = links[out_idx].r.peek() else {
+                        let Some(beat) = links.r_peek(out_idx) else {
                             continue;
                         };
                         if let Some(key) = self.rd_remap[o].source_of(beat.id) {
@@ -399,7 +410,7 @@ impl Xp {
             };
             let Some(o) = source else { continue };
             let out_idx = self.out_links[o].expect("locked output exists");
-            let Some(peeked) = links[out_idx].r.peek() else {
+            let Some(peeked) = links.r_peek(out_idx) else {
                 continue;
             };
             let key = self.rd_remap[o]
@@ -415,7 +426,7 @@ impl Xp {
                 );
                 continue;
             }
-            let mut beat = links[out_idx].r.pop().expect("peeked beat exists");
+            let mut beat = links.r_pop(out_idx).expect("peeked beat exists");
             if beat.last {
                 self.rd_remap[o].release(beat.id);
                 self.ar_guard[i].complete(key.id);
@@ -424,7 +435,7 @@ impl Xp {
                 self.r_lock[i] = Some(o);
             }
             beat.id = key.id;
-            links[in_idx].r.push(beat);
+            links.r_push(in_idx, beat);
             self.r_beats[i] += 1;
             moved = true;
         }
@@ -435,7 +446,7 @@ impl Xp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::{DataBeat, ReqBeat, RespBeat};
+    use crate::link::{AxiLink, DataBeat, ReqBeat, RespBeat};
     use axi::AxiId;
 
     /// Builds a standalone XP for node 5 of a 4×4 mesh wired with fresh
@@ -454,7 +465,12 @@ mod tests {
         let xp = Xp::new(
             topo,
             RoutingAlgorithm::YxDimensionOrder,
-            Connectivity::Partial,
+            xp_connectivity(
+                topo,
+                RoutingAlgorithm::YxDimensionOrder,
+                5,
+                Connectivity::Partial,
+            ),
             5,
             4,
             in_links,
@@ -695,7 +711,12 @@ mod tests {
         let mut xp = Xp::new(
             topo,
             RoutingAlgorithm::YxDimensionOrder,
-            Connectivity::Partial,
+            xp_connectivity(
+                topo,
+                RoutingAlgorithm::YxDimensionOrder,
+                5,
+                Connectivity::Partial,
+            ),
             5,
             1,
             in_links,

@@ -127,6 +127,11 @@ pub struct Scenario {
     pub budget: Option<u64>,
     /// Base RNG seed of the workload's random streams.
     pub seed: u64,
+    /// Worker threads for region-sharded execution of the one simulation
+    /// this scenario names (1 = serial). Results are bit-identical at any
+    /// value — the knob trades wall clock only — so it stays out of the
+    /// derived per-point seeds.
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -152,6 +157,7 @@ impl Scenario {
             window: 0,
             budget: None,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -269,6 +275,14 @@ impl Scenario {
         self
     }
 
+    /// Sets the worker threads for region-sharded execution (1 = serial;
+    /// results are bit-identical at any value).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The number of nodes (= DMA masters) the topology provides.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
@@ -335,6 +349,7 @@ impl Scenario {
         cfg.connectivity = self.connectivity;
         cfg.link_stages = self.link_stages;
         cfg.region_size = self.region_size;
+        cfg.threads = self.threads;
         if let TrafficSpec::Synthetic { pattern, .. } = self.traffic {
             let (cols, rows) = self
                 .mesh_dims()
@@ -371,6 +386,7 @@ impl Scenario {
                 let mut cfg = profile.base_config();
                 cfg.cols = cols;
                 cfg.rows = rows;
+                cfg.threads = self.threads;
                 Ok(Box::new(packetnoc::PacketNocSim::new(cfg)))
             }
         }
@@ -596,6 +612,13 @@ impl Scenario {
                 )))
             }
         };
+        // Lenient: documents predating the threads knob mean serial.
+        let threads = match obj_get(v, "threads") {
+            Ok(_) => parse(get_u64(v, "threads").and_then(|n| {
+                usize::try_from(n).map_err(|_| "key `threads` out of range".to_owned())
+            }))?,
+            Err(_) => 1,
+        };
         Ok(Self {
             engine: parse(crate::spec::EngineSpec::from_json(parse(obj_get(
                 v, "engine",
@@ -616,6 +639,7 @@ impl Scenario {
             window: parse(get_u64(v, "window"))?,
             budget,
             seed: parse(get_u64(v, "seed"))?,
+            threads,
         })
     }
 
@@ -682,6 +706,7 @@ impl Scenario {
             ("window", Json::U64(self.window)),
             ("budget", self.budget.map_or(Json::Null, Json::U64)),
             ("seed", Json::U64(self.seed)),
+            ("threads", Json::U64(self.threads as u64)),
         ])
     }
 }

@@ -238,6 +238,8 @@ fn pattern_label(pattern: SyntheticPattern) -> &'static str {
         SyntheticPattern::AllGlobal => "all-global",
         SyntheticPattern::MaxTwoHop => "max-2-hop",
         SyntheticPattern::MaxSingleHop => "max-1-hop",
+        SyntheticPattern::Transpose => "transpose",
+        SyntheticPattern::BitComplement => "bit-complement",
     }
 }
 
@@ -246,6 +248,8 @@ fn pattern_from_label(label: &str) -> Result<SyntheticPattern, String> {
         "all-global" => Ok(SyntheticPattern::AllGlobal),
         "max-2-hop" => Ok(SyntheticPattern::MaxTwoHop),
         "max-1-hop" => Ok(SyntheticPattern::MaxSingleHop),
+        "transpose" => Ok(SyntheticPattern::Transpose),
+        "bit-complement" => Ok(SyntheticPattern::BitComplement),
         other => Err(format!("unknown synthetic pattern `{other}`")),
     }
 }

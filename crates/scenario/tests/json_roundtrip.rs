@@ -39,6 +39,8 @@ fn traffic_strategy() -> impl Strategy<Value = TrafficSpec> {
                 Just(traffic::SyntheticPattern::AllGlobal),
                 Just(traffic::SyntheticPattern::MaxTwoHop),
                 Just(traffic::SyntheticPattern::MaxSingleHop),
+                Just(traffic::SyntheticPattern::Transpose),
+                Just(traffic::SyntheticPattern::BitComplement),
             ],
             0.0001..1.0f64,
             1u64..65_000,
@@ -82,6 +84,7 @@ proptest! {
             prop_oneof![Just(None), (1u64..1_000_000_000).prop_map(Some)],
             0u64..u64::MAX,
         ),
+        threads in 1usize..9,
     ) {
         let (data_width, id_width, max_outstanding, link_stages) = axi;
         let (warmup, window, budget, seed) = stop;
@@ -94,7 +97,8 @@ proptest! {
             .traffic(traffic)
             .warmup(warmup)
             .window(window)
-            .seed(seed);
+            .seed(seed)
+            .threads(threads);
         s.engine = engine;
         s.budget = budget;
 
@@ -136,6 +140,18 @@ fn parse_errors_name_the_problem() {
     }
     let err = Scenario::from_json(&json).unwrap_err();
     assert!(err.to_string().contains("unknown engine"), "{err}");
+}
+
+#[test]
+fn documents_without_a_threads_key_mean_serial() {
+    // Artifacts predating the threads knob must keep parsing (lenient
+    // default 1 = serial).
+    let mut json = Scenario::patronoc().threads(4).to_json();
+    if let Json::Obj(pairs) = &mut json {
+        pairs.retain(|(k, _)| k != "threads");
+    }
+    let parsed = Scenario::from_json(&json).unwrap();
+    assert_eq!(parsed.threads, 1);
 }
 
 #[test]

@@ -147,6 +147,31 @@ impl<T> Fifo<T> {
         self.buf.is_empty() && self.snap_len == 0 && self.snap_free == self.capacity
     }
 
+    /// Number of elements poppable this cycle (the start-of-cycle snapshot,
+    /// minus pops already performed this cycle). Together with
+    /// [`poppable`](Self::poppable) and [`snap_free`](Self::snap_free) this
+    /// exposes the cycle snapshot to *mirrors*: when a region-sharded engine
+    /// hands two threads the two ends of one channel, each side works on a
+    /// copy of this snapshot and the commit phase replays the recorded
+    /// pops/pushes on the real FIFO (see `simkit::region`).
+    #[must_use]
+    pub fn snap_len(&self) -> usize {
+        self.snap_len
+    }
+
+    /// Number of slots still pushable this cycle (the start-of-cycle
+    /// snapshot, minus pushes already performed this cycle).
+    #[must_use]
+    pub fn snap_free(&self) -> usize {
+        self.snap_free
+    }
+
+    /// Iterates over the elements poppable this cycle, head first — the
+    /// prefix of the queue covered by the start-of-cycle snapshot.
+    pub fn poppable(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter().take(self.snap_len)
+    }
+
     /// Current *raw* occupancy (including values pushed this cycle).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -403,6 +428,27 @@ mod tests {
         assert!(f.can_push() && !f.can_pop());
         f.begin_cycle();
         assert!(f.can_push() && !f.can_pop() && f.is_idle());
+    }
+
+    #[test]
+    fn snapshot_accessors_track_the_cycle_view() {
+        let mut f: Fifo<u32> = Fifo::new(4);
+        f.begin_cycle();
+        assert_eq!((f.snap_len(), f.snap_free()), (0, 4));
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        // Pushes consume free slots but are not poppable this cycle.
+        assert_eq!((f.snap_len(), f.snap_free()), (0, 2));
+        assert_eq!(f.poppable().count(), 0);
+        f.begin_cycle();
+        assert_eq!((f.snap_len(), f.snap_free()), (2, 2));
+        assert_eq!(f.poppable().copied().collect::<Vec<_>>(), vec![1, 2]);
+        f.push(3).unwrap();
+        // The poppable prefix excludes the same-cycle push.
+        assert_eq!(f.poppable().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!((f.snap_len(), f.snap_free()), (1, 1));
+        assert_eq!(f.poppable().copied().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -25,9 +25,14 @@
 //!   on retirement — no per-cycle heap traffic.
 //! * [`watchdog`] — the [`ProgressWatchdog`] both engines arm around
 //!   their run loops to turn protocol deadlocks into panics.
-//! * [`pool`] — a scoped worker pool ([`pool::scope_map`]) for fanning
-//!   independent simulation points across threads with index-ordered,
-//!   serial-identical results.
+//! * [`pool`] — a scoped worker pool: [`pool::scope_map`] fans independent
+//!   simulation points across threads with index-ordered, serial-identical
+//!   results, and [`pool::crew_scope`] keeps a fixed worker crew alive for
+//!   the per-cycle fork/join of a region-sharded simulation.
+//! * [`region`] — the deterministic mesh partitioner ([`region::RegionMap`])
+//!   and boundary-exchange outboxes ([`region::RegionSet`]) behind
+//!   region-sharded (multi-threaded, bit-identical) single-simulation
+//!   execution.
 //! * [`report`] — the unified [`SimReport`] / [`StopReason`] every NoC
 //!   engine returns, so comparison harnesses handle one result shape.
 //! * [`json`] — a minimal hand-rolled JSON writer for machine-readable
@@ -57,6 +62,7 @@ pub mod arbiter;
 pub mod fifo;
 pub mod json;
 pub mod pool;
+pub mod region;
 pub mod report;
 pub mod rng;
 pub mod sched;
@@ -67,9 +73,10 @@ pub mod watchdog;
 pub use arbiter::RoundRobinArbiter;
 pub use fifo::{Fifo, PushError, RegisterSlice};
 pub use json::Json;
+pub use region::{DisjointSlots, RegionMap, RegionSet};
 pub use report::{SimReport, StopReason};
 pub use rng::Rng;
-pub use sched::ActiveSet;
+pub use sched::{ActiveSet, SaturateThresholds};
 pub use slab::{Handle, HandleQueue, Slab, SlabStats};
 pub use stats::{Histogram, RunningStats, ThroughputMeter};
 pub use watchdog::ProgressWatchdog;

@@ -1,0 +1,376 @@
+//! Deterministic mesh partitioning for region-sharded simulation.
+//!
+//! Conservative parallel discrete-event simulation needs a *lookahead*: a
+//! lower bound on how long an event in one partition takes to influence
+//! another. In this codebase every inter-router connection is cut by at
+//! least one register slice ([`crate::RegisterSlice`]), so nothing crosses
+//! a link in less than one cycle — one cycle of lookahead, which is exactly
+//! the granularity of the engines' `step()` loop. A cycle can therefore be
+//! computed *in parallel per region* as long as (a) every component reads
+//! only start-of-cycle snapshots (the existing two-phase [`crate::Fifo`]
+//! discipline) and (b) pushes/pops on channels that cross a region boundary
+//! are buffered and replayed at a barrier in a fixed order.
+//!
+//! [`RegionMap`] is the partitioner: it slices a `cols`×`rows` mesh into
+//! horizontal bands of whole rows (contiguous router rectangles). Row-major
+//! node numbering then makes every region a *contiguous* index range, which
+//! keeps per-region component arrays sliceable and the commit order (region
+//! 0, region 1, …) identical to ascending node order. The partition depends
+//! only on `(cols, rows, regions)` — never on thread timing — so a sharded
+//! run is a pure function of its inputs, like the serial engine.
+//!
+//! [`RegionSet`] is the boundary-exchange buffer: one `Vec<T>` outbox per
+//! region, drained in fixed region order at the cycle barrier. Engines push
+//! whatever crosses a boundary (deliveries, staged beats, wake-ups) into
+//! their region's outbox during the parallel phase and apply everything
+//! serially in the commit phase.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::region::RegionMap;
+//!
+//! let map = RegionMap::new(4, 4, 3); // 4×4 mesh, up to 3 regions
+//! assert_eq!(map.regions(), 3);
+//! assert_eq!(map.nodes(0), 0..8);   // rows 0..2
+//! assert_eq!(map.nodes(1), 8..12);  // row 2
+//! assert_eq!(map.nodes(2), 12..16); // row 3
+//! assert_eq!(map.region_of(5), 0);
+//! ```
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A deterministic partition of a `cols`×`rows` mesh into horizontal bands
+/// of whole rows. See the [module documentation](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    cols: usize,
+    rows: usize,
+    /// `band_rows[r]` = first row of region `r`; one extra entry = `rows`.
+    band_rows: Vec<usize>,
+    /// Row index → region index, for O(1) [`region_of`](Self::region_of).
+    region_of_row: Vec<u32>,
+}
+
+impl RegionMap {
+    /// Partitions the mesh into `min(regions, rows)` row bands, as evenly
+    /// as possible (earlier bands take the remainder rows). `regions == 0`
+    /// is treated as 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is empty.
+    #[must_use]
+    pub fn new(cols: usize, rows: usize, regions: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh must be non-empty");
+        let regions = regions.clamp(1, rows);
+        let (base, extra) = (rows / regions, rows % regions);
+        let mut band_rows = Vec::with_capacity(regions + 1);
+        let mut region_of_row = Vec::with_capacity(rows);
+        let mut row = 0;
+        for r in 0..regions {
+            band_rows.push(row);
+            let height = base + usize::from(r < extra);
+            for _ in 0..height {
+                region_of_row.push(r as u32);
+            }
+            row += height;
+        }
+        band_rows.push(rows);
+        debug_assert_eq!(row, rows);
+        Self {
+            cols,
+            rows,
+            band_rows,
+            region_of_row,
+        }
+    }
+
+    /// Number of regions in the partition.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.band_rows.len() - 1
+    }
+
+    /// Mesh width the map was built for.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mesh height the map was built for.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total node count (`cols * rows`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The region owning `node` (row-major node numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh.
+    #[must_use]
+    pub fn region_of(&self, node: usize) -> usize {
+        self.region_of_row[node / self.cols] as usize
+    }
+
+    /// The contiguous node range of region `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a region index.
+    #[must_use]
+    pub fn nodes(&self, r: usize) -> Range<usize> {
+        self.band_rows[r] * self.cols..self.band_rows[r + 1] * self.cols
+    }
+
+    /// Whether `a` and `b` live in different regions — i.e. a channel
+    /// between them crosses a region boundary and must be mirrored.
+    #[must_use]
+    pub fn is_boundary(&self, a: usize, b: usize) -> bool {
+        self.region_of(a) != self.region_of(b)
+    }
+}
+
+/// Per-region outboxes drained in fixed region order at the cycle barrier.
+///
+/// During the parallel phase each region appends to its own outbox (no
+/// sharing); the commit phase calls [`drain`](Self::drain), which visits
+/// the entries region 0 first — with contiguous row-band regions this is
+/// ascending node order, i.e. the exact order the serial engine would have
+/// produced the same events in.
+#[derive(Debug, Clone)]
+pub struct RegionSet<T> {
+    outboxes: Vec<Vec<T>>,
+}
+
+impl<T> RegionSet<T> {
+    /// Creates one empty outbox per region.
+    #[must_use]
+    pub fn new(regions: usize) -> Self {
+        Self {
+            outboxes: (0..regions).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    /// Exclusive access to region `r`'s outbox (the parallel phase hands
+    /// each worker a disjoint `&mut` via its region index).
+    pub fn outbox(&mut self, r: usize) -> &mut Vec<T> {
+        &mut self.outboxes[r]
+    }
+
+    /// Splits into one `&mut Vec<T>` per region, for handing each worker
+    /// its own outbox simultaneously.
+    pub fn outboxes(&mut self) -> &mut [Vec<T>] {
+        &mut self.outboxes
+    }
+
+    /// Drains every outbox in region order, applying `f` to each entry.
+    pub fn drain(&mut self, mut f: impl FnMut(T)) {
+        for outbox in &mut self.outboxes {
+            for item in outbox.drain(..) {
+                f(item);
+            }
+        }
+    }
+
+    /// Whether every outbox is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outboxes.iter().all(Vec::is_empty)
+    }
+}
+
+/// A shared view of a mutable slice whose elements are accessed at
+/// *disjoint indices* by concurrent workers — the one `unsafe` primitive
+/// behind the engines' parallel phase.
+///
+/// Rust's borrow checker cannot see that region 0 only ever touches region
+/// 0's links, components and arenas while region 1 touches region 1's, so
+/// the sharded engines prove that disjointness themselves (every index is
+/// owned by exactly one region of the [`RegionMap`] partition, and each
+/// crew worker steps exactly one region) and use this wrapper to hand every
+/// worker the same slice. All the unsafety is concentrated in
+/// [`get`](Self::get)/[`get_mut`](Self::get_mut), whose contract is exactly
+/// that ownership argument.
+pub struct DisjointSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only hands out references through the `unsafe`
+// accessors below, whose contract (disjoint indices across threads) is what
+// makes concurrent use sound; `T: Send` because elements are mutated from
+// whichever worker thread owns their index.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    /// Wraps `slice`, borrowing it exclusively for the wrapper's lifetime
+    /// (so no safe alias can exist while workers hold raw access).
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _life: PhantomData,
+        }
+    }
+
+    /// Number of elements in the wrapped slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A shared reference to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may hold a `&mut` to index `i` for the lifetime of
+    /// the returned reference (the region-ownership argument: only `i`'s
+    /// owning region touches it, and each worker steps one region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        // SAFETY: in-bounds (asserted); aliasing discharged by the caller.
+        unsafe { &*self.ptr.add(i) }
+    }
+
+    /// An exclusive reference to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// As [`get`](Self::get), and additionally no other reference to index
+    /// `i` may exist anywhere for the lifetime of the returned reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[allow(clippy::mut_from_ref)] // the whole point; safety contract above
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        // SAFETY: in-bounds (asserted); exclusivity discharged by the
+        // caller's disjoint-index contract.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_slots_allow_disjoint_parallel_writes() {
+        let mut data = vec![0u64; 8];
+        let slots = DisjointSlots::new(&mut data);
+        std::thread::scope(|s| {
+            let slots = &slots;
+            for w in 0..4 {
+                s.spawn(move || {
+                    for i in (w..8).step_by(4) {
+                        // SAFETY: each worker touches i ≡ w (mod 4) only.
+                        *unsafe { slots.get_mut(i) } = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn disjoint_slots_bounds_checked() {
+        let mut data = [0u8; 3];
+        let slots = DisjointSlots::new(&mut data);
+        // SAFETY: no concurrent access exists.
+        let _ = unsafe { slots.get(3) };
+    }
+
+    #[test]
+    fn bands_cover_the_mesh_exactly_once() {
+        for (cols, rows, regions) in [(4, 4, 1), (4, 4, 4), (5, 7, 3), (3, 16, 4), (8, 8, 5)] {
+            let map = RegionMap::new(cols, rows, regions);
+            let mut seen = vec![false; cols * rows];
+            for r in 0..map.regions() {
+                for n in map.nodes(r) {
+                    assert!(!seen[n], "node {n} in two regions");
+                    seen[n] = true;
+                    assert_eq!(map.region_of(n), r);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{cols}x{rows}/{regions}");
+        }
+    }
+
+    #[test]
+    fn regions_clamped_to_rows() {
+        let map = RegionMap::new(4, 3, 16);
+        assert_eq!(map.regions(), 3);
+        let map = RegionMap::new(4, 3, 0);
+        assert_eq!(map.regions(), 1);
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_balanced() {
+        let a = RegionMap::new(16, 16, 4);
+        let b = RegionMap::new(16, 16, 4);
+        assert_eq!(a, b);
+        // 16 rows over 4 regions: 4 rows each.
+        for r in 0..4 {
+            assert_eq!(a.nodes(r).len(), 4 * 16);
+        }
+        // 7 rows over 3 regions: 3, 2, 2.
+        let c = RegionMap::new(2, 7, 3);
+        assert_eq!(
+            (0..3).map(|r| c.nodes(r).len() / 2).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn boundary_is_region_inequality() {
+        let map = RegionMap::new(4, 4, 2); // rows 0..2 | rows 2..4
+        assert!(!map.is_boundary(0, 4)); // rows 0-1: same band
+        assert!(map.is_boundary(4, 8)); // rows 1-2: crosses the cut
+        assert!(!map.is_boundary(8, 12));
+    }
+
+    #[test]
+    fn region_set_drains_in_region_order() {
+        let mut set: RegionSet<u32> = RegionSet::new(3);
+        set.outbox(2).push(20);
+        set.outbox(0).push(1);
+        set.outbox(1).push(10);
+        set.outbox(0).push(2);
+        assert!(!set.is_empty());
+        let mut out = Vec::new();
+        set.drain(|v| out.push(v));
+        assert_eq!(out, vec![1, 2, 10, 20]);
+        assert!(set.is_empty());
+    }
+}

@@ -75,6 +75,13 @@ pub struct SimReport {
     /// pressure figure the arena refactor drives towards "one alloc per
     /// transaction, zero per cycle". Telemetry; excluded from `PartialEq`.
     pub allocs_per_kilocycle: f64,
+    /// Worker threads the engine simulated this run with (region-sharded
+    /// execution; 1 = the serial cycle loop). Describes *how* the result
+    /// was computed, not the simulated NoC — the whole point of the
+    /// sharded engine is that every thread count produces the same report
+    /// — so like [`cycles_per_sec`](Self::cycles_per_sec) it is excluded
+    /// from `PartialEq`.
+    pub threads: usize,
 }
 
 impl PartialEq for SimReport {
@@ -116,6 +123,7 @@ mod tests {
             cycles_per_sec: 1.0e6,
             slab_high_water: 7,
             allocs_per_kilocycle: 0.25,
+            threads: 1,
         }
     }
 
@@ -136,6 +144,7 @@ mod tests {
         faster.cycles_per_sec = 9.0e6;
         faster.slab_high_water = 99;
         faster.allocs_per_kilocycle = 42.0;
+        faster.threads = 8;
         assert_eq!(r, faster, "telemetry must not break determinism");
         let mut different = r.clone();
         different.payload_bytes = 99;

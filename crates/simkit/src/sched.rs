@@ -44,18 +44,57 @@ pub const SATURATE_ENTER: (usize, usize) = (2, 3);
 /// activity sets and resumes precise tracking.
 pub const SATURATE_EXIT: (usize, usize) = (1, 2);
 
+/// The two-regime scheduler's regime-change thresholds, liftable into
+/// engine configuration so per-region (or per-workload) tuning is possible
+/// without recompiling. [`SaturateThresholds::default`] reproduces the
+/// hard-coded constants the engines shipped with ([`SATURATE_ENTER`],
+/// [`SATURATE_EXIT`]) bit-for-bit, which the equivalence suite asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturateThresholds {
+    /// Saturated-regime entry fraction (see [`SATURATE_ENTER`]).
+    pub enter: (usize, usize),
+    /// Saturated-regime exit fraction (see [`SATURATE_EXIT`]); keep it
+    /// well below `enter` or the regimes flap.
+    pub exit: (usize, usize),
+}
+
+impl Default for SaturateThresholds {
+    fn default() -> Self {
+        Self {
+            enter: SATURATE_ENTER,
+            exit: SATURATE_EXIT,
+        }
+    }
+}
+
+impl SaturateThresholds {
+    /// Whether `tracked` work items out of `full` cross the entry
+    /// threshold.
+    #[must_use]
+    pub fn should_saturate(&self, tracked: usize, full: usize) -> bool {
+        tracked * self.enter.1 >= full * self.enter.0
+    }
+
+    /// Whether `estimated` precise-mode work items out of `full` have
+    /// dropped below the exit threshold.
+    #[must_use]
+    pub fn should_desaturate(&self, estimated: usize, full: usize) -> bool {
+        estimated * self.exit.1 < full * self.exit.0
+    }
+}
+
 /// Whether `tracked` work items out of `full` cross the
-/// [`SATURATE_ENTER`] threshold.
+/// [`SATURATE_ENTER`] threshold (default-threshold shorthand).
 #[must_use]
 pub fn should_saturate(tracked: usize, full: usize) -> bool {
-    tracked * SATURATE_ENTER.1 >= full * SATURATE_ENTER.0
+    SaturateThresholds::default().should_saturate(tracked, full)
 }
 
 /// Whether `estimated` precise-mode work items out of `full` have dropped
-/// below the [`SATURATE_EXIT`] threshold.
+/// below the [`SATURATE_EXIT`] threshold (default-threshold shorthand).
 #[must_use]
 pub fn should_desaturate(estimated: usize, full: usize) -> bool {
-    estimated * SATURATE_EXIT.1 < full * SATURATE_EXIT.0
+    SaturateThresholds::default().should_desaturate(estimated, full)
 }
 
 /// A set of component indices with deterministic ascending iteration.
@@ -147,6 +186,37 @@ impl ActiveSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_thresholds_match_the_constants() {
+        let t = SaturateThresholds::default();
+        assert_eq!(t.enter, SATURATE_ENTER);
+        assert_eq!(t.exit, SATURATE_EXIT);
+        for tracked in 0..100 {
+            for full in 1..100 {
+                assert_eq!(
+                    t.should_saturate(tracked, full),
+                    should_saturate(tracked, full)
+                );
+                assert_eq!(
+                    t.should_desaturate(tracked, full),
+                    should_desaturate(tracked, full)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_thresholds_shift_the_regime_change() {
+        let eager = SaturateThresholds {
+            enter: (1, 4),
+            exit: (1, 8),
+        };
+        assert!(eager.should_saturate(25, 100));
+        assert!(!should_saturate(25, 100));
+        assert!(eager.should_desaturate(12, 100));
+        assert!(!eager.should_desaturate(13, 100));
+    }
 
     #[test]
     fn insert_is_idempotent() {

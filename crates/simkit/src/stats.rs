@@ -92,6 +92,21 @@ impl ThroughputMeter {
     pub fn throughput_gib_s(&self, now: Cycle) -> f64 {
         self.throughput_bytes_s(now) / GIB
     }
+
+    /// Moves `other`'s counts into this meter, leaving `other` zeroed (its
+    /// warm-up cutoff is kept, so it can keep recording).
+    ///
+    /// Region-sharded engines give every shard its own meter during the
+    /// parallel phase and fold them into the run's meter at the cycle
+    /// barrier. All counters are integers, so the fold is exact and
+    /// independent of the order shards are absorbed in — a `record` seen
+    /// through an absorbed shard meter is bit-identical to one recorded
+    /// directly.
+    pub fn absorb(&mut self, other: &mut ThroughputMeter) {
+        self.bytes += std::mem::take(&mut other.bytes);
+        self.warmup_bytes += std::mem::take(&mut other.warmup_bytes);
+        self.events += std::mem::take(&mut other.events);
+    }
 }
 
 /// Streaming mean/variance via Welford's algorithm.
@@ -320,6 +335,29 @@ mod tests {
         // 1 GiB over 1000 cycles (1 µs) = ~1e6 GiB/s / 1e3... just check ratio.
         let t = m.throughput_gib_s(1000);
         assert!((t - 1.0e6).abs() / 1.0e6 < 1e-6);
+    }
+
+    #[test]
+    fn absorb_equals_direct_recording() {
+        let mut direct = ThroughputMeter::new(10);
+        let mut main = ThroughputMeter::new(10);
+        let mut shard = ThroughputMeter::new(10);
+        for (now, bytes) in [(2, 5), (9, 7), (10, 64), (30, 128)] {
+            direct.record(now, bytes);
+            shard.record(now, bytes);
+        }
+        main.absorb(&mut shard);
+        assert_eq!(main.bytes(), direct.bytes());
+        assert_eq!(main.warmup_bytes(), direct.warmup_bytes());
+        assert_eq!(main.events(), direct.events());
+        assert_eq!(
+            main.throughput_bytes_s(40).to_bits(),
+            direct.throughput_bytes_s(40).to_bits()
+        );
+        // The shard meter is drained but still usable.
+        assert_eq!(shard.bytes(), 0);
+        shard.record(20, 1);
+        assert_eq!(shard.bytes(), 1);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::source::{TrafficSource, Transfer, TransferKind};
 use simkit::{Cycle, Rng};
 
-/// The three synthetic access patterns of Fig. 5.
+/// The synthetic access patterns: the three locality-controlled patterns
+/// of Fig. 5 plus the two classical address-mapped NoC stress patterns
+/// (transpose, bit-complement) used by mesh evaluations since the SPIN /
+/// Noxim era.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyntheticPattern {
     /// All masters → one central slave.
@@ -28,6 +31,13 @@ pub enum SyntheticPattern {
     MaxTwoHop,
     /// Eight edge slaves, destinations at most one hop away.
     MaxSingleHop,
+    /// Master `(x, y)` → slave `(y, x)`: the matrix-transpose pattern.
+    /// Deterministic destinations; needs a square mesh. Diagonal nodes
+    /// target themselves (local-port traffic).
+    Transpose,
+    /// Master `m` → slave `n − 1 − m`: every transfer crosses the mesh
+    /// center — the worst-case bisection stress pattern.
+    BitComplement,
 }
 
 impl SyntheticPattern {
@@ -37,10 +47,18 @@ impl SyntheticPattern {
     /// # Panics
     ///
     /// Panics if the mesh is smaller than 3×3 (the edge/center structure of
-    /// the patterns needs at least that).
+    /// the patterns needs at least that), or for [`Transpose`](Self::Transpose)
+    /// on a non-square mesh.
     #[must_use]
     pub fn slave_nodes(self, cols: usize, rows: usize) -> Vec<usize> {
         assert!(cols >= 3 && rows >= 3, "pattern needs at least a 3x3 mesh");
+        if self == Self::Transpose {
+            assert_eq!(cols, rows, "transpose needs a square mesh");
+        }
+        // The address-mapped patterns are bijections: every node receives.
+        if matches!(self, Self::Transpose | Self::BitComplement) {
+            return (0..cols * rows).collect();
+        }
         let node = |x: usize, y: usize| y * cols + x;
         match self {
             Self::AllGlobal => vec![node(cols / 2, (rows - 1) / 2)],
@@ -68,6 +86,7 @@ impl SyntheticPattern {
                 }
                 v
             }
+            Self::Transpose | Self::BitComplement => unreachable!("returned above"),
         }
     }
 
@@ -76,9 +95,25 @@ impl SyntheticPattern {
     #[must_use]
     pub fn max_hops(self) -> Option<u32> {
         match self {
-            Self::AllGlobal => None,
+            Self::AllGlobal | Self::Transpose | Self::BitComplement => None,
             Self::MaxTwoHop => Some(2),
             Self::MaxSingleHop => Some(1),
+        }
+    }
+
+    /// The single deterministic destination of `master` under the
+    /// address-mapped patterns; `None` for the randomized Fig. 5 patterns,
+    /// whose destinations draw from an eligible set per transfer.
+    #[must_use]
+    pub fn fixed_destination(self, cols: usize, rows: usize, master: usize) -> Option<usize> {
+        match self {
+            Self::Transpose => {
+                // (x, y) → (y, x): destination node = x·cols + y.
+                let (x, y) = (master % cols, master / cols);
+                Some(x * cols + y)
+            }
+            Self::BitComplement => Some(cols * rows - 1 - master),
+            Self::AllGlobal | Self::MaxTwoHop | Self::MaxSingleHop => None,
         }
     }
 }
@@ -138,14 +173,18 @@ impl SyntheticTraffic {
         let slaves = cfg.pattern.slave_nodes(cfg.cols, cfg.rows);
         let eligible: Vec<Vec<usize>> = (0..n)
             .map(|m| {
-                let list: Vec<usize> = slaves
-                    .iter()
-                    .copied()
-                    .filter(|&s| match cfg.pattern.max_hops() {
-                        None => true,
-                        Some(h) => hop_distance(cfg.cols, m, s) <= h,
-                    })
-                    .collect();
+                let list: Vec<usize> = match cfg.pattern.fixed_destination(cfg.cols, cfg.rows, m) {
+                    // Address-mapped pattern: exactly one destination.
+                    Some(d) => vec![d],
+                    None => slaves
+                        .iter()
+                        .copied()
+                        .filter(|&s| match cfg.pattern.max_hops() {
+                            None => true,
+                            Some(h) => hop_distance(cfg.cols, m, s) <= h,
+                        })
+                        .collect(),
+                };
                 assert!(!list.is_empty(), "master {m} has no eligible slave");
                 list
             })
@@ -310,5 +349,52 @@ mod tests {
     #[should_panic(expected = "3x3")]
     fn tiny_mesh_rejected() {
         let _ = SyntheticPattern::AllGlobal.slave_nodes(2, 2);
+    }
+
+    #[test]
+    fn transpose_mirrors_coordinates() {
+        // Every node is a slave, and master (x, y) targets exactly (y, x).
+        assert_eq!(
+            SyntheticPattern::Transpose.slave_nodes(4, 4),
+            (0..16).collect::<Vec<_>>()
+        );
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::Transpose));
+        assert_eq!(src.eligible(1), &[4]); // (1,0) → (0,1)
+        assert_eq!(src.eligible(7), &[13]); // (3,1) → (1,3)
+        assert_eq!(src.eligible(5), &[5]); // diagonal: self-traffic
+        for m in 0..16 {
+            let (x, y) = (m % 4, m / 4);
+            assert_eq!(src.eligible(m), &[x * 4 + y]);
+        }
+    }
+
+    #[test]
+    fn bit_complement_crosses_the_center() {
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::BitComplement));
+        for m in 0..16 {
+            assert_eq!(src.eligible(m), &[15 - m]);
+        }
+        // Every transfer spans the full mesh diagonal distance from its
+        // master: (x, y) → (3−x, 3−y).
+        assert_eq!(hop_distance(4, 0, 15), 6);
+    }
+
+    #[test]
+    fn transpose_traffic_only_emits_partner_destinations() {
+        let mut src = SyntheticTraffic::new(cfg(SyntheticPattern::Transpose));
+        for now in 0..200 {
+            for m in 0..16 {
+                while let Some(t) = src.poll(m, now) {
+                    let (x, y) = (m % 4, m / 4);
+                    assert_eq!(t.dst, x * 4 + y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn transpose_rejects_rectangular_meshes() {
+        let _ = SyntheticPattern::Transpose.slave_nodes(4, 3);
     }
 }
