@@ -13,7 +13,7 @@
 //! (preserving intra-ID ordering), a new pair allocates a free slot, and the
 //! remapper back-pressures when no slot is free.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An AXI transaction ID (wire value, at most 16 bits in Table I).
@@ -28,7 +28,7 @@ impl fmt::Display for AxiId {
 
 /// A key identifying the *source* of a transaction at a remapper: which
 /// upstream port it arrived on and which wire ID it carried.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceKey {
     /// Upstream (slave-side) port index.
     pub port: u8,
@@ -61,7 +61,7 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct IdRemapper {
     slots: Vec<Option<Slot>>,
-    by_key: HashMap<SourceKey, u16>,
+    by_key: BTreeMap<SourceKey, u16>,
     free: Vec<u16>,
 }
 
@@ -77,7 +77,7 @@ impl IdRemapper {
         let n = 1usize << id_width;
         Self {
             slots: vec![None; n],
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
             free: (0..n as u16).rev().collect(),
         }
     }
@@ -159,7 +159,7 @@ impl IdRemapper {
 #[derive(Debug, Clone, Default)]
 pub struct OrderingGuard {
     /// id → (destination, outstanding count)
-    inflight: HashMap<AxiId, (usize, u32)>,
+    inflight: BTreeMap<AxiId, (usize, u32)>,
 }
 
 impl OrderingGuard {

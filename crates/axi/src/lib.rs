@@ -37,6 +37,8 @@
 //! assert_eq!(total, 10 * 1024);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod burst;
 pub mod check;

@@ -4,7 +4,7 @@
 
 use axi::id::{AxiId, IdRemapper, SourceKey};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -29,7 +29,7 @@ proptest! {
     ) {
         let mut remap = IdRemapper::new(iw);
         // Reference: key → (downstream id, inflight count).
-        let mut reference: HashMap<SourceKey, (AxiId, u32)> = HashMap::new();
+        let mut reference: BTreeMap<SourceKey, (AxiId, u32)> = BTreeMap::new();
         // Multiset of live downstream ids with counts, ordered for Release.
         let capacity = 1usize << iw;
         for op in schedule {
@@ -48,7 +48,7 @@ proptest! {
                             prop_assert_eq!(entry.0, out);
                             entry.1 += 1;
                             // Distinct keys must hold distinct ids.
-                            let distinct: std::collections::HashSet<u16> =
+                            let distinct: std::collections::BTreeSet<u16> =
                                 reference.values().map(|(o, _)| o.0).collect();
                             prop_assert_eq!(distinct.len(), reference.len());
                             // Lookup agrees.

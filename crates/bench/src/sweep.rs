@@ -283,7 +283,7 @@ mod tests {
         // Stability: the derivation is part of the recorded methodology.
         assert_eq!(point_seed(0xB0C5, &[1, 2]), point_seed(0xB0C5, &[1, 2]));
         // Distinctness over a figure-sized grid.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for curve in 0..7u64 {
             for load in 0..13u64 {
                 assert!(seen.insert(point_seed(0xB0C5, &[curve, load])));

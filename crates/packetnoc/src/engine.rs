@@ -600,15 +600,22 @@ impl PacketNocSim {
                 // construction, and foreign buffers resolve to mirrors.
                 let ctx = unsafe { ctxs.get_mut(r) };
                 for &b in &ctx.interior_bufs {
+                    // SAFETY: ctx.interior_bufs holds only buffers interior
+                    // to region r.
                     unsafe { bufs.get_mut(b) }.begin_cycle();
                 }
+                // SAFETY: the transaction slab is per-region, indexed by r
+                // itself — each slot touched by its own worker only.
                 let region_txs = unsafe { txs.get_mut(r) };
                 for node in ctx.nodes.clone() {
+                    // SAFETY: ctx.nodes is region r's node band; each NI
+                    // belongs to exactly one node.
                     let ni = unsafe { nis.get_mut(node) };
                     ni.step(now, vcs, region_txs, |vc, flit| {
-                        // The NI always injects into its own node's LOCAL
-                        // input buffer — never across a region boundary.
                         let idx = Router::buf_index(node, LOCAL, vc, vcs);
+                        // SAFETY: the NI always injects into its own node's
+                        // LOCAL input buffer (idx above) — never across a
+                        // region boundary — and node is in region r's band.
                         unsafe { bufs.get_mut(idx) }.push(flit).is_ok()
                     });
                 }
@@ -621,6 +628,8 @@ impl PacketNocSim {
                     mirrors: &mut ctx.mirrors,
                 };
                 for node in ctx.nodes.clone() {
+                    // SAFETY: ctx.nodes is region r's node band; foreign
+                    // buffers resolve to mirrors inside the view.
                     let delivered =
                         unsafe { routers.get_mut(node) }.step(&mut view, &neighbor, &mut |_| {});
                     ctx.deliveries.extend(delivered);

@@ -42,6 +42,8 @@
 //! assert!(report.throughput_gib_s > 0.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod engine;
 pub mod ni;

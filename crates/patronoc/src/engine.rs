@@ -755,15 +755,22 @@ impl NocSim {
                 // components/arenas the partition assigned to region r.
                 let ctx = unsafe { ctxs.get_mut(r) };
                 for &l in &ctx.links {
+                    // SAFETY: ctx.links holds only links owned by region r.
                     unsafe { links.get_mut(l) }.begin_cycle();
                 }
+                // SAFETY: the per-region arenas are indexed by r itself —
+                // one slot per region, each touched by its own worker only.
                 let region_txns = unsafe { txns.get_mut(r) };
+                // SAFETY: as above — slot r of a per-region arena.
                 let region_wstreams = unsafe { wstreams.get_mut(r) };
                 for &di in &ctx.dmas {
+                    // SAFETY: ctx.dmas holds only DMAs assigned to region r.
                     let d = unsafe { dmas.get_mut(di) };
                     let l = d.link();
                     debug_assert_eq!(owner[l] as usize, r, "DMA link crosses regions");
                     d.step(
+                        // SAFETY: l is this DMA's link, owned by region r
+                        // (asserted above).
                         unsafe { links.get_mut(l) },
                         now,
                         region_txns,
@@ -772,9 +779,13 @@ impl NocSim {
                     );
                 }
                 for &mi in &ctx.mems {
+                    // SAFETY: ctx.mems holds only memories assigned to
+                    // region r.
                     let m = unsafe { mems.get_mut(mi) };
                     let l = m.link();
                     debug_assert_eq!(owner[l] as usize, r, "memory link crosses regions");
+                    // SAFETY: l is this memory's link, owned by region r
+                    // (asserted above).
                     m.step(unsafe { links.get_mut(l) }, now, &mut ctx.meter);
                 }
                 let mut view = ShardLinkView {
@@ -785,6 +796,8 @@ impl NocSim {
                     mirrors: &mut ctx.mirrors,
                 };
                 for xi in ctx.xps.clone() {
+                    // SAFETY: ctx.xps is region r's crossbar range; foreign
+                    // links resolve to mirrors inside the view.
                     unsafe { xps.get_mut(xi) }.step(&mut view);
                 }
             });

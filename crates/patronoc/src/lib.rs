@@ -49,6 +49,8 @@
 //! | [`config`] | Table I parameter space |
 //! | [`engine`] | the cycle-accurate evaluation testbench (§IV) |
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod endpoint;
 pub mod engine;

@@ -14,7 +14,7 @@
 //! all routes and searching the dependency graph for cycles.
 
 use crate::topology::{Dir, Topology, LOCAL, PORTS};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The routing algorithm used to build the static per-XP tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -223,8 +223,10 @@ pub fn validate_deadlock_free(
     topo: Topology,
     algo: RoutingAlgorithm,
 ) -> Result<(), Vec<(usize, Dir)>> {
-    // Channel = directed XP→XP link, identified by (from_node, dir).
-    let mut edges: HashMap<(usize, Dir), Vec<(usize, Dir)>> = HashMap::new();
+    // Channel = directed XP→XP link, identified by (from_node, dir). BTreeMap
+    // so the DFS below visits channels in a fixed order and the reported
+    // cycle is the same on every run.
+    let mut edges: BTreeMap<(usize, Dir), Vec<(usize, Dir)>> = BTreeMap::new();
     let n = topo.num_nodes();
     for src in 0..n {
         for dst in 0..n {
@@ -245,7 +247,7 @@ pub fn validate_deadlock_free(
         }
     }
     // Iterative DFS cycle detection (colors: 0 white, 1 gray, 2 black).
-    let mut color: HashMap<(usize, Dir), u8> = HashMap::new();
+    let mut color: BTreeMap<(usize, Dir), u8> = BTreeMap::new();
     let nodes: Vec<(usize, Dir)> = edges.keys().copied().collect();
     for &start in &nodes {
         if color.get(&start).copied().unwrap_or(0) != 0 {

@@ -35,6 +35,8 @@
 //! # Ok::<(), axi::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod bisection;
 pub mod espnoc;

@@ -58,6 +58,8 @@
 //! assert_eq!(ch.pop(), Some(7));
 //! ```
 //!
+
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod arbiter;
 pub mod fifo;
 pub mod json;

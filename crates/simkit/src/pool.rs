@@ -76,6 +76,9 @@ where
 }
 
 /// A dispatched task: type-erased closure pointer plus its call thunk.
+// SAFETY: the thunk's contract — the pointer is a live `F` matching the
+// thunk's instantiation — is upheld by `Crew::run`, the only writer, which
+// publishes both halves together and keeps the closure alive for the epoch.
 type Thunk = (*const (), unsafe fn(*const (), usize));
 
 /// State shared between the crew leader and its workers.
@@ -169,6 +172,8 @@ impl Crew<'_> {
         };
         /// SAFETY contract: `data` points at a live `F`.
         unsafe fn call<F: Fn(usize)>(data: *const (), w: usize) {
+            // SAFETY: forwarding the function's own contract — the caller
+            // guarantees `data` points at a live `F`.
             unsafe { (*data.cast::<F>())(w) }
         }
         // SAFETY: all workers from the previous epoch reported done (or

@@ -206,9 +206,19 @@ impl<T> RegionSet<T> {
 /// worker the same slice. All the unsafety is concentrated in
 /// [`get`](Self::get)/[`get_mut`](Self::get_mut), whose contract is exactly
 /// that ownership argument.
+/// With the `shardcheck` feature enabled, every wrapper additionally
+/// carries a claim table that records, per slot, which worker touched it —
+/// and panics the moment two workers overlap (a poor-man's race detector
+/// for exactly the contract the `unsafe` accessors assume). Because the
+/// engines rebuild their wrappers every sharded cycle, claims are scoped to
+/// one cycle: a slot legitimately migrating between regions across cycles
+/// never trips the check, while any same-cycle overlap or read/write mix
+/// from different workers does.
 pub struct DisjointSlots<'a, T> {
     ptr: *mut T,
     len: usize,
+    #[cfg(feature = "shardcheck")]
+    claims: shardcheck::Claims,
     _life: PhantomData<&'a mut [T]>,
 }
 
@@ -217,6 +227,9 @@ pub struct DisjointSlots<'a, T> {
 // makes concurrent use sound; `T: Send` because elements are mutated from
 // whichever worker thread owns their index.
 unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+// SAFETY: same argument as `Sync` above — the wrapper is a pointer+len pair
+// whose element access is governed by the accessors' disjointness contract,
+// and `T: Send` lets elements be mutated from the claiming worker's thread.
 unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
 
 impl<'a, T> DisjointSlots<'a, T> {
@@ -226,6 +239,8 @@ impl<'a, T> DisjointSlots<'a, T> {
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(feature = "shardcheck")]
+            claims: shardcheck::Claims::new(slice.len()),
             _life: PhantomData,
         }
     }
@@ -256,6 +271,8 @@ impl<'a, T> DisjointSlots<'a, T> {
     #[must_use]
     pub unsafe fn get(&self, i: usize) -> &T {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        #[cfg(feature = "shardcheck")]
+        self.claims.record_shared(i);
         // SAFETY: in-bounds (asserted); aliasing discharged by the caller.
         unsafe { &*self.ptr.add(i) }
     }
@@ -274,9 +291,109 @@ impl<'a, T> DisjointSlots<'a, T> {
     #[allow(clippy::mut_from_ref)] // the whole point; safety contract above
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        #[cfg(feature = "shardcheck")]
+        self.claims.record_exclusive(i);
         // SAFETY: in-bounds (asserted); exclusivity discharged by the
         // caller's disjoint-index contract.
         unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Runtime claim tracking behind the `shardcheck` feature: the dynamic
+/// counterpart of the `simlint` static unsafe audit. Each OS thread gets a
+/// process-wide token; each slot remembers its exclusive claimant and its
+/// reader(s) for the lifetime of one `DisjointSlots` wrapper (= one sharded
+/// cycle). Any cross-worker overlap panics with a `shardcheck:` message.
+#[cfg(feature = "shardcheck")]
+mod shardcheck {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Sentinel recorded when more than one distinct worker read a slot.
+    const MANY: u64 = u64::MAX;
+
+    /// A distinct nonzero token per OS thread (stable for the thread's
+    /// lifetime, so a crew worker keeps one identity across cycles).
+    fn worker_token() -> u64 {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        thread_local! {
+            static TOKEN: Cell<u64> = const { Cell::new(0) };
+        }
+        TOKEN.with(|t| {
+            let mut v = t.get();
+            if v == 0 {
+                v = NEXT.fetch_add(1, Ordering::Relaxed);
+                t.set(v);
+            }
+            v
+        })
+    }
+
+    pub(super) struct Claims {
+        /// Per-slot exclusive claimant token (0 = unclaimed).
+        excl: Vec<AtomicU64>,
+        /// Per-slot reader token (0 = none, [`MANY`] = several workers).
+        shared: Vec<AtomicU64>,
+    }
+
+    impl Claims {
+        pub(super) fn new(len: usize) -> Self {
+            Self {
+                excl: (0..len).map(|_| AtomicU64::new(0)).collect(),
+                shared: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            }
+        }
+
+        /// Claims slot `i` exclusively for the calling worker.
+        ///
+        /// # Panics
+        ///
+        /// Panics if another worker already claimed or read slot `i`
+        /// through this wrapper (same sharded cycle).
+        pub(super) fn record_exclusive(&self, i: usize) {
+            let me = worker_token();
+            let prev = self.excl[i]
+                .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
+                .unwrap_or_else(|cur| cur);
+            assert!(
+                prev == 0 || prev == me,
+                "shardcheck: slot {i} claimed exclusively by worker {prev} \
+                 and worker {me} in the same cycle"
+            );
+            let reader = self.shared[i].load(Ordering::Acquire);
+            assert!(
+                reader == 0 || reader == me,
+                "shardcheck: slot {i} read by worker {} but claimed \
+                 exclusively by worker {me} in the same cycle",
+                if reader == MANY {
+                    "<several>".to_string()
+                } else {
+                    reader.to_string()
+                }
+            );
+        }
+
+        /// Records a shared read of slot `i` by the calling worker.
+        ///
+        /// # Panics
+        ///
+        /// Panics if another worker holds an exclusive claim on slot `i`
+        /// through this wrapper (same sharded cycle).
+        pub(super) fn record_shared(&self, i: usize) {
+            let me = worker_token();
+            let owner = self.excl[i].load(Ordering::Acquire);
+            assert!(
+                owner == 0 || owner == me,
+                "shardcheck: slot {i} claimed exclusively by worker {owner} \
+                 but read by worker {me} in the same cycle"
+            );
+            let _ =
+                self.shared[i].fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| match cur {
+                    0 => Some(me),
+                    c if c == me => None,
+                    _ => Some(MANY),
+                });
+        }
     }
 }
 

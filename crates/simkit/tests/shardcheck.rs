@@ -1,0 +1,161 @@
+//! Tests for the `shardcheck` runtime shard-aliasing checker: seeded
+//! overlaps must panic, the legal access patterns the engines rely on must
+//! not. Compiled only with `--features shardcheck`.
+
+#![cfg(feature = "shardcheck")]
+
+use simkit::region::DisjointSlots;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+/// Runs `second` on a new thread after `first` ran on another, both against
+/// the same wrapper, and returns the second access's panic message (if it
+/// panicked). The ordering channel makes the outcome deterministic.
+fn overlap<T: Send + Sync>(
+    slots: &DisjointSlots<'_, T>,
+    first: impl FnOnce(&DisjointSlots<'_, T>) + Send,
+    second: impl FnOnce(&DisjointSlots<'_, T>) + Send,
+) -> Option<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            first(slots);
+            tx.send(()).expect("receiver alive");
+        });
+        s.spawn(move || {
+            rx.recv().expect("first access completed");
+            catch_unwind(AssertUnwindSafe(|| second(slots)))
+                .err()
+                .map(|p| {
+                    p.downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_default()
+                })
+        })
+        .join()
+        .expect("probe thread runs to completion")
+    })
+}
+
+#[test]
+fn overlapping_exclusive_claims_panic() {
+    let mut data = vec![0u32; 4];
+    let slots = DisjointSlots::new(&mut data);
+    let msg = overlap(
+        &slots,
+        // SAFETY: test probe; the checker is the subject under test.
+        |s| unsafe {
+            *s.get_mut(2) = 7;
+        },
+        // SAFETY: as above — this access is the seeded violation.
+        |s| unsafe {
+            *s.get_mut(2) = 9;
+        },
+    )
+    .expect("second exclusive claim must panic");
+    assert!(msg.contains("shardcheck"), "unexpected message: {msg}");
+    assert!(msg.contains("slot 2"), "unexpected message: {msg}");
+}
+
+#[test]
+fn write_then_foreign_read_panics() {
+    let mut data = vec![0u32; 4];
+    let slots = DisjointSlots::new(&mut data);
+    let msg = overlap(
+        &slots,
+        // SAFETY: test probe.
+        |s| unsafe {
+            *s.get_mut(1) = 7;
+        },
+        // SAFETY: seeded violation — reading a foreign exclusive slot.
+        |s| unsafe {
+            let _ = s.get(1);
+        },
+    )
+    .expect("foreign read of an exclusively-claimed slot must panic");
+    assert!(msg.contains("shardcheck"), "unexpected message: {msg}");
+}
+
+#[test]
+fn read_then_foreign_write_panics() {
+    let mut data = vec![0u32; 4];
+    let slots = DisjointSlots::new(&mut data);
+    let msg = overlap(
+        &slots,
+        // SAFETY: test probe.
+        |s| unsafe {
+            let _ = s.get(3);
+        },
+        // SAFETY: seeded violation — claiming a slot another worker read.
+        |s| unsafe {
+            *s.get_mut(3) = 1;
+        },
+    )
+    .expect("exclusive claim of a foreign-read slot must panic");
+    assert!(msg.contains("shardcheck"), "unexpected message: {msg}");
+}
+
+#[test]
+fn disjoint_claims_and_same_worker_reuse_pass() {
+    let mut data = vec![0u64; 8];
+    let slots = DisjointSlots::new(&mut data);
+    std::thread::scope(|s| {
+        let slots = &slots;
+        for w in 0..4 {
+            s.spawn(move || {
+                for i in (w..8).step_by(4) {
+                    // SAFETY: each worker touches i ≡ w (mod 4) only, and a
+                    // worker may revisit its own slots freely.
+                    unsafe {
+                        let _ = slots.get(i);
+                        *slots.get_mut(i) += i as u64;
+                        *slots.get_mut(i) += 1;
+                    }
+                }
+            });
+        }
+    });
+    drop(slots);
+    assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+}
+
+#[test]
+fn claims_reset_with_each_wrapper() {
+    // Per-cycle scoping: a slot may move between workers across cycles, as
+    // long as each cycle's wrapper sees a single claimant.
+    let mut data = vec![0u32; 2];
+    for round in 0..2u32 {
+        let slots = DisjointSlots::new(&mut data);
+        std::thread::scope(|s| {
+            let slots = &slots;
+            // Swap slot ownership between the two threads each round.
+            s.spawn(move || {
+                let i = usize::from(round % 2 == 0);
+                // SAFETY: this thread owns slot i this round.
+                unsafe { *slots.get_mut(i) += 1 };
+            });
+            s.spawn(move || {
+                let i = usize::from(round % 2 != 0);
+                // SAFETY: this thread owns slot i this round.
+                unsafe { *slots.get_mut(i) += 1 };
+            });
+        });
+    }
+    assert_eq!(data, vec![2, 2]);
+}
+
+#[test]
+fn shared_reads_from_many_workers_pass() {
+    let mut data = vec![42u32; 1];
+    let slots = DisjointSlots::new(&mut data);
+    std::thread::scope(|s| {
+        let slots = &slots;
+        for _ in 0..4 {
+            s.spawn(move || {
+                // SAFETY: concurrent shared reads with no writer are legal.
+                assert_eq!(*unsafe { slots.get(0) }, 42);
+            });
+        }
+    });
+}

@@ -1,0 +1,305 @@
+//! `simlint.toml` — declared, reviewable exceptions to the lint rules.
+//!
+//! The whole point of the configuration is that every exception is
+//! *written down with a reason*: a finding is only ever suppressed by an
+//! `[[allow]]` entry naming the rule, the file and why, and an entry that
+//! stops matching anything becomes a finding itself (`stale-allow`), so the
+//! allowlist cannot silently rot.
+//!
+//! The parser handles exactly the TOML subset the config uses — tables,
+//! arrays of tables, string values, string arrays, integers and `#`
+//! comments — in the same hand-rolled, dependency-free style as
+//! `simkit::json`. Anything outside that subset (or any unknown key) is a
+//! hard error: a typo in the config must not silently disable a rule.
+//!
+//! ```
+//! let cfg = simlint::config::Config::parse(r##"
+//!     skip = ["target"]
+//!     [rules.hash-collection]
+//!     crates = ["simkit"]
+//!     [[allow]]
+//!     rule = "wall-clock"
+//!     file = "crates/x/src/lib.rs"
+//!     contains = "wall_start"
+//!     reason = "telemetry only"
+//! "##).unwrap();
+//! assert_eq!(cfg.allow.len(), 1);
+//! assert_eq!(cfg.rule_crates["hash-collection"], vec!["simkit"]);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// One declared exception: findings of `rule` in `file` (optionally
+/// narrowed to lines containing `contains`) are suppressed, with `reason`
+/// recorded for reviewers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AllowEntry {
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// Substring the flagged source line must contain; `None` allows the
+    /// whole file for that rule (use sparingly).
+    pub contains: Option<String>,
+    /// Why the exception is sound. Mandatory: undocumented exceptions are
+    /// exactly what the linter exists to prevent.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses a finding of `rule` in `file` whose
+    /// source line is `line_text`.
+    #[must_use]
+    pub fn matches(&self, rule: &str, file: &str, line_text: &str) -> bool {
+        self.rule == rule
+            && self.file == file
+            && self.contains.as_ref().is_none_or(|c| line_text.contains(c))
+    }
+}
+
+/// Parsed `simlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Config {
+    /// Top-level directories never scanned (workspace-relative).
+    pub skip: Vec<String>,
+    /// Per-rule crate scope: rule id → crate names the rule applies to.
+    /// A rule with no entry applies to every scanned file.
+    pub rule_crates: BTreeMap<String, Vec<String>>,
+    /// Declared exceptions, in file order.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// Where the parser is inside the file.
+enum Section {
+    Root,
+    Rule(String),
+    Allow,
+}
+
+impl Config {
+    /// Parses the configuration text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for any syntax outside
+    /// the supported subset, unknown sections/keys, or an `[[allow]]` entry
+    /// missing `rule`, `file` or `reason`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = Config::default();
+        let mut section = Section::Root;
+        for (i, raw) in text.lines().enumerate() {
+            let n = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if name.trim() != "allow" {
+                    return Err(format!("line {n}: unknown array-of-tables [[{name}]]"));
+                }
+                Self::validate_last_allow(&cfg)?;
+                cfg.allow.push(AllowEntry::default());
+                section = Section::Allow;
+            } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if let Some(rule) = name.strip_prefix("rules.") {
+                    section = Section::Rule(rule.to_string());
+                } else {
+                    return Err(format!("line {n}: unknown section [{name}]"));
+                }
+            } else {
+                let (key, value) = line
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {n}: expected `key = value`"))?;
+                let key = key.trim();
+                let value = Value::parse(value.trim()).map_err(|e| format!("line {n}: {e}"))?;
+                cfg.assign(&section, key, value)
+                    .map_err(|e| format!("line {n}: {e}"))?;
+            }
+        }
+        Self::validate_last_allow(&cfg)?;
+        Ok(cfg)
+    }
+
+    fn validate_last_allow(cfg: &Config) -> Result<(), String> {
+        if let Some(a) = cfg.allow.last() {
+            if a.rule.is_empty() || a.file.is_empty() || a.reason.is_empty() {
+                return Err(format!(
+                    "[[allow]] entry for rule {:?} file {:?} must set `rule`, `file` and a \
+                     non-empty `reason`",
+                    a.rule, a.file
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(&mut self, section: &Section, key: &str, value: Value) -> Result<(), String> {
+        match section {
+            Section::Root => match (key, value) {
+                ("skip", Value::Array(items)) => self.skip = items,
+                ("version", Value::Int) => {}
+                (k, _) => return Err(format!("unknown or mistyped root key `{k}`")),
+            },
+            Section::Rule(rule) => match (key, value) {
+                ("crates", Value::Array(items)) => {
+                    self.rule_crates.insert(rule.clone(), items);
+                }
+                (k, _) => return Err(format!("unknown or mistyped key `{k}` in [rules.{rule}]")),
+            },
+            Section::Allow => {
+                let entry = self.allow.last_mut().expect("inside an [[allow]] entry");
+                match (key, value) {
+                    ("rule", Value::Str(s)) => entry.rule = s,
+                    ("file", Value::Str(s)) => entry.file = s,
+                    ("contains", Value::Str(s)) => entry.contains = Some(s),
+                    ("reason", Value::Str(s)) => entry.reason = s,
+                    (k, _) => return Err(format!("unknown or mistyped key `{k}` in [[allow]]")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TOML value of the supported subset.
+enum Value {
+    Str(String),
+    Int,
+    Array(Vec<String>),
+}
+
+impl Value {
+    fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if let Some(rest) = text.strip_prefix('"') {
+            let (s, tail) = Self::take_string(rest)?;
+            Self::expect_only_comment(tail)?;
+            return Ok(Value::Str(s));
+        }
+        if let Some(rest) = text.strip_prefix('[') {
+            let mut items = Vec::new();
+            let mut rest = rest.trim_start();
+            loop {
+                if let Some(tail) = rest.strip_prefix(']') {
+                    Self::expect_only_comment(tail)?;
+                    return Ok(Value::Array(items));
+                }
+                let inner = rest
+                    .strip_prefix('"')
+                    .ok_or_else(|| format!("expected a quoted string in array, got `{rest}`"))?;
+                let (s, tail) = Self::take_string(inner)?;
+                items.push(s);
+                rest = tail.trim_start();
+                if let Some(tail) = rest.strip_prefix(',') {
+                    rest = tail.trim_start();
+                }
+            }
+        }
+        let digits = text.split('#').next().unwrap_or("").trim();
+        digits
+            .parse::<i64>()
+            .map(|_| Value::Int)
+            .map_err(|_| format!("unsupported value `{text}`"))
+    }
+
+    /// Consumes a string body (after the opening quote); returns the
+    /// contents and the remaining text after the closing quote.
+    fn take_string(text: &str) -> Result<(String, &str), String> {
+        let mut out = String::new();
+        let mut chars = text.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((out, &text[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, other)) => out.push(other),
+                    None => return Err("dangling escape in string".into()),
+                },
+                _ => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn expect_only_comment(tail: &str) -> Result<(), String> {
+        let tail = tail.trim();
+        if tail.is_empty() || tail.starts_with('#') {
+            Ok(())
+        } else {
+            Err(format!("trailing characters after value: `{tail}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_round_trip() {
+        let cfg = Config::parse(
+            r##"
+            # comment
+            version = 1
+            skip = ["target", "third_party"]
+
+            [rules.hash-collection]
+            crates = ["simkit", "patronoc"]
+
+            [[allow]]
+            rule = "wall-clock"
+            file = "crates/patronoc/src/engine.rs"
+            contains = "wall_start"
+            reason = "telemetry"
+
+            [[allow]]
+            rule = "env-read"
+            file = "crates/simkit/src/json.rs"
+            reason = "test scratch file"
+            "##,
+        )
+        .unwrap();
+        assert_eq!(cfg.skip, vec!["target", "third_party"]);
+        assert_eq!(
+            cfg.rule_crates["hash-collection"],
+            vec!["simkit", "patronoc"]
+        );
+        assert_eq!(cfg.allow.len(), 2);
+        assert_eq!(cfg.allow[0].contains.as_deref(), Some("wall_start"));
+        assert_eq!(cfg.allow[1].contains, None);
+    }
+
+    #[test]
+    fn allow_entry_requires_reason() {
+        let err = Config::parse("[[allow]]\nrule = \"x\"\nfile = \"y\"\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(Config::parse("unknown = 3\n").is_err());
+        assert!(Config::parse("[rules.x]\nbogus = \"y\"\n").is_err());
+        assert!(Config::parse("[section]\n").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(Config::parse("skip = [\"a\"] extra\n").is_err());
+        assert!(Config::parse("skip = [\"a\"] # but a comment is fine\n").is_ok());
+    }
+
+    #[test]
+    fn allow_matching_respects_contains() {
+        let e = AllowEntry {
+            rule: "wall-clock".into(),
+            file: "f.rs".into(),
+            contains: Some("wall_start".into()),
+            reason: "r".into(),
+        };
+        assert!(e.matches("wall-clock", "f.rs", "let wall_start = Instant::now();"));
+        assert!(!e.matches("wall-clock", "f.rs", "let other = Instant::now();"));
+        assert!(!e.matches("env-read", "f.rs", "let wall_start = 1;"));
+        assert!(!e.matches("wall-clock", "g.rs", "wall_start"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Workspace driver: walks the tree, scans every Rust file, applies the
+//! configured allowlist and renders the results.
+//!
+//! The walk is fully deterministic (directory entries sorted by name) so
+//! findings, the audit table and the exit code are identical on every run
+//! and every machine — the linter holds itself to the invariant it checks.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::rules::{scan_file, Finding, UnsafeSite};
+
+/// Outcome of a whole-workspace check.
+#[derive(Debug, Default)]
+pub struct CheckResult {
+    /// Findings that survived the allowlist, plus one `stale-allow` finding
+    /// per `[[allow]]` entry that matched nothing. Sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Every `unsafe` occurrence in the tree, for the audit table.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub files_scanned: usize,
+}
+
+/// Scans every `.rs` file under `root`, skipping directories named in
+/// `cfg.skip` (at any depth, so nested `target/` trees are skipped too).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk; unreadable file contents are
+/// tolerated (lossily decoded), missing files are not.
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<CheckResult> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+
+    let mut raw_findings = Vec::new();
+    let mut result = CheckResult::default();
+    for rel in files {
+        let bytes = fs::read(root.join(&rel))?;
+        let source = String::from_utf8_lossy(&bytes);
+        let crate_name = crate_of(&rel);
+        let report = scan_file(&rel, crate_name, &source, cfg);
+        raw_findings.extend(report.findings);
+        result.unsafe_sites.extend(report.unsafe_sites);
+        result.files_scanned += 1;
+    }
+
+    // Apply the allowlist, counting how often each entry fires.
+    let mut hits = vec![0usize; cfg.allow.len()];
+    for f in raw_findings {
+        let matched = cfg
+            .allow
+            .iter()
+            .position(|a| a.matches(f.rule, &f.file, &f.line_text));
+        match matched {
+            Some(i) => hits[i] += 1,
+            None => result.findings.push(f),
+        }
+    }
+    // An entry that suppressed nothing is dead weight — or worse, a typo
+    // that silently re-enabled a real exception. Surface it.
+    for (i, entry) in cfg.allow.iter().enumerate() {
+        if hits[i] == 0 {
+            result.findings.push(Finding {
+                rule: "stale-allow",
+                file: "simlint.toml".to_string(),
+                line: i + 1, // entry ordinal, not a source line
+                message: format!(
+                    "[[allow]] entry #{} (rule `{}`, file `{}`) matched no findings; \
+                     remove it or fix its `file`/`contains`",
+                    i + 1,
+                    entry.rule,
+                    entry.file
+                ),
+                line_text: entry
+                    .contains
+                    .clone()
+                    .unwrap_or_else(|| "<whole file>".to_string()),
+            });
+        }
+    }
+
+    result
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    result
+        .unsafe_sites
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(result)
+}
+
+/// Recursive sorted walk collecting workspace-relative `.rs` paths.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if cfg.skip.iter().any(|s| s == &name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace crate a relative path belongs to (`crates/<name>/…`).
+#[must_use]
+pub fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name)
+}
+
+/// Renders one finding the way compilers do: `file:line: [rule] message`.
+#[must_use]
+pub fn render(f: &Finding) -> String {
+    format!(
+        "{}:{}: [{}] {}\n    {}",
+        f.file, f.line, f.rule, f.message, f.line_text
+    )
+}
+
+/// Serializes the audit table as `LINT_unsafe_audit.json`. Hand-rolled in
+/// the same spirit as `simkit::json`: stable key order, sorted sites, a
+/// `schema` tag so downstream tooling can detect format changes.
+#[must_use]
+pub fn audit_json(sites: &[UnsafeSite]) -> String {
+    let documented = sites.iter().filter(|s| s.documented).count();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"simlint-unsafe-audit-v1\",\n");
+    out.push_str(&format!("  \"total\": {},\n", sites.len()));
+    out.push_str(&format!("  \"documented\": {documented},\n"));
+    out.push_str("  \"sites\": [\n");
+    for (i, s) in sites.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"documented\": {}, \"safety\": {}}}{}\n",
+            json_str(&s.file),
+            s.line,
+            json_str(s.kind),
+            s.documented,
+            s.safety.as_deref().map_or("null".to_string(), json_str),
+            if i + 1 < sites.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_extracts_the_crate_segment() {
+        assert_eq!(crate_of("crates/simkit/src/region.rs"), Some("simkit"));
+        assert_eq!(crate_of("crates/bench/tests/threading.rs"), Some("bench"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+        assert_eq!(crate_of("examples/quickstart.rs"), None);
+        assert_eq!(crate_of("crates/justname"), None);
+    }
+
+    #[test]
+    fn audit_json_escapes_and_counts() {
+        let sites = vec![
+            UnsafeSite {
+                file: "a.rs".into(),
+                line: 3,
+                kind: "block",
+                documented: true,
+                safety: Some("SAFETY: \"quoted\"".into()),
+            },
+            UnsafeSite {
+                file: "b.rs".into(),
+                line: 9,
+                kind: "fn",
+                documented: false,
+                safety: None,
+            },
+        ];
+        let json = audit_json(&sites);
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"documented\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"safety\": null"));
+    }
+}

@@ -1,0 +1,482 @@
+//! A small hand-rolled Rust lexer, comment- and string-aware.
+//!
+//! The rule engine ([`crate::rules`]) needs to know where *code* is: an
+//! `unsafe` inside a string literal or a `HashMap` in a comment must never
+//! trigger a finding, and a `// SAFETY:` comment must be recognized as a
+//! comment wherever it sits. This lexer produces exactly the token stream
+//! that distinction requires — identifiers, punctuation, literals and
+//! comments with line spans — and nothing more (no keyword table, no
+//! expression grammar). It handles the lexical edge cases that break naive
+//! regex scanning: nested block comments, raw strings with arbitrary `#`
+//! fences, raw identifiers, byte/char literals vs. lifetimes, and strings
+//! spanning lines.
+//!
+//! ```
+//! use simlint::lexer::{lex, TokenKind};
+//!
+//! let tokens = lex("let x = \"unsafe { no }\"; // SAFETY: not code\n");
+//! assert!(matches!(tokens[0].kind, TokenKind::Ident(ref s) if s == "let"));
+//! assert!(tokens.iter().any(|t| matches!(t.kind, TokenKind::Str)));
+//! assert!(tokens.iter().any(|t| matches!(t.kind, TokenKind::LineComment { .. })));
+//! // The quoted `unsafe` is literal content, not an identifier token.
+//! assert!(!tokens.iter().any(|t| matches!(t.kind, TokenKind::Ident(ref s) if s == "unsafe")));
+//! ```
+
+/// One lexical token with its (1-based, inclusive) line span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// First source line of the token (1-based).
+    pub line: usize,
+    /// Last source line of the token (multi-line strings/comments).
+    pub end_line: usize,
+}
+
+/// What a token is. Literal kinds carry no text — the rules never need the
+/// contents of a string, only that it *is* a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are stored without `r#`).
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// `// ...` comment; `doc` for `///` and `//!` forms.
+    LineComment { text: String, doc: bool },
+    /// `/* ... */` comment (nesting-aware); `doc` for `/**` and `/*!`.
+    BlockComment { text: String, doc: bool },
+    /// String literal: `"..."`, `b"..."`.
+    Str,
+    /// Raw string literal: `r"..."`, `r#"..."#`, `br##"..."##`, ...
+    RawStr,
+    /// Character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// Lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+}
+
+impl Token {
+    /// The comment text without its `//`/`/*` markers, line by line, each
+    /// line trimmed. Empty for non-comments.
+    #[must_use]
+    pub fn comment_lines(&self) -> Vec<&str> {
+        let text: &str = match &self.kind {
+            TokenKind::LineComment { text, .. } | TokenKind::BlockComment { text, .. } => text,
+            _ => return Vec::new(),
+        };
+        text.lines()
+            .map(|l| {
+                l.trim_start()
+                    .trim_start_matches(['/', '*', '!'])
+                    .trim_end_matches("*/")
+                    .trim()
+            })
+            .collect()
+    }
+
+    /// Whether this token is a comment (line or block, doc or plain).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    #[must_use]
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: true, .. } | TokenKind::BlockComment { doc: true, .. }
+        )
+    }
+}
+
+/// Lexes `source` into tokens. Whitespace is dropped (line numbers carry
+/// the layout information the rules need). The lexer never fails: any byte
+/// sequence it does not recognize becomes a [`TokenKind::Punct`].
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, start_line: usize) {
+        self.tokens.push(Token {
+            kind,
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start),
+                '"' => {
+                    self.bump();
+                    self.string_body(start);
+                }
+                '\'' => self.char_or_lifetime(start),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                c if c.is_alphabetic() || c == '_' => self.ident(start),
+                c if c.is_ascii_digit() => self.number(start),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), start);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, start: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `///` (but not `////`) and `//!` are doc comments.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.push(TokenKind::LineComment { text, doc }, start);
+    }
+
+    fn block_comment(&mut self, start: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        // `/**` (not `/***` or the empty `/**/`) and `/*!` are doc comments.
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 5)
+            || text.starts_with("/*!");
+        self.push(TokenKind::BlockComment { text, doc }, start);
+    }
+
+    /// Consumes a (non-raw) string body after its opening quote.
+    fn string_body(&mut self, start: usize) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped character, e.g. `\"`
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, start);
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes). Rust's rule: after `'`, an escape or a
+    /// single-character-then-quote is a char literal; an identifier head
+    /// without a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self, start: usize) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        self.bump();
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::CharLit, start);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(1) != Some('\'') => {
+                // Lifetime: consume the identifier.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, start);
+            }
+            Some(_) => {
+                // Plain char literal like 'a' or '('.
+                self.bump(); // the character
+                if self.peek(0) == Some('\'') {
+                    self.bump(); // the closing quote
+                }
+                self.push(TokenKind::CharLit, start);
+            }
+            None => self.push(TokenKind::Punct('\''), start),
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'` and raw
+    /// identifiers (`r#match`). Returns `true` if it consumed a token;
+    /// `false` leaves the `r`/`b` for the plain identifier path.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.line;
+        let c = self.peek(0).expect("caller checked");
+        let mut idx = 1;
+        let byte = c == 'b';
+        if byte && self.peek(1) == Some('\'') {
+            // Byte literal b'x'.
+            self.bump(); // b
+            self.char_or_lifetime(start);
+            return true;
+        }
+        if byte && self.peek(1) == Some('"') {
+            self.bump(); // b
+            self.bump(); // "
+            self.string_body(start);
+            return true;
+        }
+        let raw = if byte {
+            if self.peek(1) == Some('r') {
+                idx = 2;
+                true
+            } else {
+                false
+            }
+        } else {
+            true // c == 'r'
+        };
+        if !raw {
+            return false;
+        }
+        // Count `#` fences after the r.
+        let mut hashes = 0;
+        while self.peek(idx + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(idx + hashes) {
+            Some('"') => {
+                for _ in 0..idx + hashes + 1 {
+                    self.bump();
+                }
+                self.raw_string_body(hashes, start);
+                true
+            }
+            Some(c2) if hashes == 1 && !byte && (c2.is_alphabetic() || c2 == '_') => {
+                // Raw identifier r#match: skip the r# and lex the name.
+                self.bump();
+                self.bump();
+                self.ident(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a raw-string body after its opening quote: ends at `"`
+    /// followed by `hashes` `#` characters.
+    fn raw_string_body(&mut self, hashes: usize, start: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::RawStr, start);
+    }
+
+    fn ident(&mut self, start: usize) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(name), start);
+    }
+
+    fn number(&mut self, start: usize) {
+        // Digits, underscores and letters cover every base and suffix
+        // (0xFF_u32, 1_000i64, 1e9). A `.` is part of the number only when
+        // followed by a digit, so ranges (`0..8`) and method calls
+        // (`1.min(x)`) stay punctuation.
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert!(idents("let s = \"unsafe HashMap\";")
+            .iter()
+            .all(|i| i == "let" || i == "s"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = lex(r#"let s = "a\"unsafe\"b"; x"#);
+        assert!(idents(r#"let s = "a\"unsafe\"b"; x"#).contains(&"x".to_string()));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"a \"quoted\" unsafe b\"#; fin";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::RawStr).count(),
+            1
+        );
+        assert!(idents(src).contains(&"fin".to_string()));
+        assert!(!idents(src).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ code";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].is_comment());
+        assert!(idents(src).contains(&"code".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "let c = 'x'; fn f<'a>(v: &'a str) { let n = '\\n'; }";
+        let toks = lex(src);
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(chars, 2, "{toks:?}");
+        assert_eq!(lifetimes, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let src = "let a = b'q'; let b = b\"bytes\"; let c = br#\"raw\"#; end";
+        assert!(idents(src).contains(&"end".to_string()));
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::CharLit));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::RawStr));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert!(idents("let r#match = 1;").contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// not doc\n/** block doc */\n/*! inner block */\n/* plain block */");
+        let docs: Vec<bool> = toks.iter().map(Token::is_doc_comment).collect();
+        assert_eq!(docs, vec![true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn line_spans_cover_multiline_tokens() {
+        let toks = lex("a\n/* one\ntwo\nthree */\nb");
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].end_line, 4);
+        assert_eq!(toks[2].line, 5);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..8 { let f = 1.5; let h = 0xFF_u32; }";
+        let toks = lex(src);
+        let nums = toks.iter().filter(|t| t.kind == TokenKind::Num).count();
+        assert_eq!(nums, 4, "{toks:?}"); // 0, 8, 1.5, 0xFF_u32
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Punct('.')));
+    }
+
+    #[test]
+    fn comment_lines_strip_markers() {
+        let toks = lex("// SAFETY: fine\n/* SAFETY: block\n   second */");
+        assert_eq!(toks[0].comment_lines(), vec!["SAFETY: fine"]);
+        assert_eq!(toks[1].comment_lines()[0], "SAFETY: block");
+    }
+}

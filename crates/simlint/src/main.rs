@@ -1,0 +1,122 @@
+//! Command-line entry point: `simlint check [--root DIR] [--audit PATH]
+//! [--no-audit] [--quiet]`.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/configuration error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::config::Config;
+use simlint::driver;
+
+const USAGE: &str = "usage: simlint check [--root DIR] [--audit PATH] [--no-audit] [--quiet]
+
+Scans every .rs file under the workspace root (found by walking up to the
+directory containing simlint.toml), checks the determinism & unsafety rules,
+and writes the unsafe-audit table (default: <root>/LINT_unsafe_audit.json).";
+
+struct Opts {
+    root: Option<PathBuf>,
+    audit: Option<PathBuf>,
+    no_audit: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut args = args.peekable();
+    match args.next().as_deref() {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`")),
+        None => return Err("missing command".to_string()),
+    }
+    let mut opts = Opts {
+        root: None,
+        audit: None,
+        no_audit: false,
+        quiet: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?));
+            }
+            "--audit" => {
+                opts.audit = Some(PathBuf::from(args.next().ok_or("--audit needs a value")?));
+            }
+            "--no-audit" => opts.no_audit = true,
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first one holding
+/// `simlint.toml` — so the binary works from any subdirectory, exactly
+/// like `cargo` finds `Cargo.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("simlint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args(std::env::args().skip(1))?;
+    let root = match opts.root {
+        Some(r) => r,
+        None => find_root().ok_or("no simlint.toml found here or in any parent directory")?,
+    };
+    let cfg_path = root.join("simlint.toml");
+    let cfg_text =
+        std::fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&cfg_text).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+
+    let result = driver::check_workspace(&root, &cfg).map_err(|e| format!("scan failed: {e}"))?;
+
+    if !opts.no_audit {
+        let audit_path = opts
+            .audit
+            .unwrap_or_else(|| root.join("LINT_unsafe_audit.json"));
+        let json = driver::audit_json(&result.unsafe_sites);
+        std::fs::write(&audit_path, json).map_err(|e| format!("{}: {e}", audit_path.display()))?;
+        if !opts.quiet {
+            println!(
+                "wrote {} ({} unsafe sites, {} documented)",
+                audit_path.display(),
+                result.unsafe_sites.len(),
+                result.unsafe_sites.iter().filter(|s| s.documented).count(),
+            );
+        }
+    }
+
+    for f in &result.findings {
+        println!("{}", driver::render(f));
+    }
+    if !opts.quiet {
+        println!(
+            "simlint: {} files scanned, {} finding(s)",
+            result.files_scanned,
+            result.findings.len()
+        );
+    }
+    Ok(result.findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("simlint: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The rule engine: project invariants checked over the token stream.
+//!
+//! Every rule works on [`crate::lexer`] tokens, never on raw text, so
+//! occurrences inside strings, comments and attributes can never trigger a
+//! finding. The rules:
+//!
+//! * `undocumented-unsafe` — every `unsafe` block/fn/impl/trait must carry
+//!   a `// SAFETY:` comment immediately above it (or above the statement it
+//!   starts); `unsafe fn`/`impl`/`trait` may alternatively document a
+//!   `# Safety` section in their doc comment. All sites, documented or
+//!   not, are reported as [`UnsafeSite`]s for the audit table.
+//! * `hash-collection` — `HashMap`/`HashSet` have nondeterministic
+//!   iteration order; in the configured crates they are banned outright
+//!   (use `BTreeMap`/`BTreeSet` or index-keyed `Vec`s).
+//! * `wall-clock` — `Instant`/`SystemTime` reads make runs time-dependent;
+//!   allowed only via an explicit `[[allow]]` entry (telemetry).
+//! * `env-read` — `std::env::…` reads inside simulation crates make
+//!   results depend on the caller's environment.
+//! * `nondet-random` — OS-seeded randomness (`thread_rng`, `StdRng`,
+//!   `RandomState`, `getrandom`, anything under a `rand::` path) has no
+//!   place in a simulator whose whole claim is bit-identical replay.
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One rule violation at a specific line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (matches `simlint.toml` keys).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    pub message: String,
+    /// Trimmed source line, for display and `[[allow]] contains` matching.
+    pub line_text: String,
+}
+
+/// One `unsafe` occurrence, for the machine-readable audit table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    /// `"block"`, `"fn"`, `"impl"` or `"trait"`.
+    pub kind: &'static str,
+    pub documented: bool,
+    /// First line of the justifying comment, when one was found.
+    pub safety: Option<String>,
+}
+
+/// Everything the driver needs from one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Scans one file. `crate_name` is the workspace crate the file belongs to
+/// (`None` for files outside `crates/`), used for rule scoping.
+#[must_use]
+pub fn scan_file(file: &str, crate_name: Option<&str>, source: &str, cfg: &Config) -> FileReport {
+    FileScan::new(file, crate_name, source).run(cfg)
+}
+
+struct FileScan<'a> {
+    file: &'a str,
+    crate_name: Option<&'a str>,
+    tokens: Vec<Token>,
+    /// Token is part of an attribute (`#[…]` / `#![…]`).
+    attr: Vec<bool>,
+    /// Source lines (0-indexed storage, 1-based access helpers).
+    lines: Vec<&'a str>,
+    /// Line contains at least one non-comment, non-attribute token.
+    code: Vec<bool>,
+}
+
+impl<'a> FileScan<'a> {
+    fn new(file: &'a str, crate_name: Option<&'a str>, source: &'a str) -> Self {
+        let tokens = lex(source);
+        let attr = mark_attrs(&tokens);
+        let lines: Vec<&str> = source.lines().collect();
+        let mut code = vec![false; lines.len() + 2];
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_comment() || attr[i] {
+                continue;
+            }
+            for flag in &mut code[t.line..=t.end_line.min(lines.len())] {
+                *flag = true;
+            }
+        }
+        Self {
+            file,
+            crate_name,
+            tokens,
+            attr,
+            lines,
+            code,
+        }
+    }
+
+    fn blank(&self, line: usize) -> bool {
+        self.lines.get(line - 1).is_none_or(|l| l.trim().is_empty())
+    }
+
+    fn line_text(&self, line: usize) -> String {
+        self.lines
+            .get(line - 1)
+            .map_or(String::new(), |l| l.trim().to_string())
+    }
+
+    /// Comment tokens whose span includes `line`.
+    fn comments_on(&self, line: usize) -> impl Iterator<Item = &Token> {
+        self.tokens
+            .iter()
+            .filter(move |t| t.is_comment() && t.line <= line && line <= t.end_line)
+    }
+
+    /// Looks for a `SAFETY…` comment on `line` or on the run of
+    /// comment/attribute-only lines directly above it (stopping at the
+    /// first blank or code line, as clippy's `undocumented_unsafe_blocks`
+    /// does). Returns the first line of the comment's text.
+    fn safety_above(&self, line: usize) -> Option<String> {
+        let mut l = line;
+        loop {
+            for t in self.comments_on(l) {
+                for cl in t.comment_lines() {
+                    if cl.starts_with("SAFETY") {
+                        return Some(cl.to_string());
+                    }
+                }
+            }
+            l = l.checked_sub(1)?;
+            if l == 0 || self.blank(l) || self.code[l.min(self.code.len() - 1)] {
+                return None;
+            }
+        }
+    }
+
+    /// Whether a doc comment in the trivia run above `line` documents a
+    /// `# Safety` section (accepted for `unsafe fn`/`impl`/`trait`).
+    fn doc_safety_above(&self, line: usize) -> bool {
+        let mut l = line;
+        while let Some(prev) = l.checked_sub(1) {
+            l = prev;
+            if l == 0 || self.blank(l) || self.code[l.min(self.code.len() - 1)] {
+                return false;
+            }
+            for t in self.comments_on(l) {
+                if t.is_doc_comment() && t.comment_lines().iter().any(|c| c.contains("# Safety")) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// First line of the statement containing token `idx`: walk significant
+    /// tokens backwards to the nearest `;`/`{`/`}` boundary. A `SAFETY`
+    /// comment above the statement covers every `unsafe` inside it, so one
+    /// comment can vouch for a multi-line call with several unsafe args.
+    fn stmt_start_line(&self, idx: usize) -> usize {
+        let mut start = self.tokens[idx].line;
+        let mut i = idx;
+        while i > 0 {
+            i -= 1;
+            let t = &self.tokens[i];
+            if t.is_comment() || self.attr[i] {
+                continue;
+            }
+            match t.kind {
+                // A closed `{…}` before us is part of this statement only
+                // when it is an `unsafe { … }` expression block (an earlier
+                // inline argument, say); any other block — an `if`, a loop
+                // body — ends a previous statement.
+                TokenKind::Punct('}') => {
+                    let mut depth = 1usize;
+                    let mut j = i;
+                    while depth > 0 && j > 0 {
+                        j -= 1;
+                        match self.tokens[j].kind {
+                            TokenKind::Punct('}') => depth += 1,
+                            TokenKind::Punct('{') => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    let before = (0..j)
+                        .rev()
+                        .find(|&k| !self.tokens[k].is_comment() && !self.attr[k]);
+                    match before {
+                        Some(k)
+                            if depth == 0
+                                && matches!(&self.tokens[k].kind,
+                                            TokenKind::Ident(n) if n == "unsafe") =>
+                        {
+                            start = self.tokens[k].line;
+                            i = k;
+                        }
+                        _ => break,
+                    }
+                }
+                TokenKind::Punct('{' | ';') => break,
+                _ => start = t.line,
+            }
+        }
+        start
+    }
+
+    /// Next non-comment, non-attribute token after `idx`.
+    fn next_significant(&self, idx: usize) -> Option<&Token> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .skip(idx + 1)
+            .find(|(j, t)| !t.is_comment() && !self.attr[*j])
+            .map(|(_, t)| t)
+    }
+
+    /// Whether the token after `idx` starts a `::` path separator — i.e.
+    /// `env::var` matches but the `env!` macro does not.
+    fn followed_by_path_sep(&self, idx: usize) -> bool {
+        let mut colons = 0;
+        for (j, t) in self.tokens.iter().enumerate().skip(idx + 1) {
+            if t.is_comment() || self.attr[j] {
+                continue;
+            }
+            if t.kind == TokenKind::Punct(':') {
+                colons += 1;
+                if colons == 2 {
+                    return true;
+                }
+            } else {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn in_scope(&self, cfg: &Config, rule: &str) -> bool {
+        match cfg.rule_crates.get(rule) {
+            Some(crates) => self
+                .crate_name
+                .is_some_and(|c| crates.iter().any(|x| x == c)),
+            None => true,
+        }
+    }
+
+    fn finding(&self, rule: &'static str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.file.to_string(),
+            line,
+            message,
+            line_text: self.line_text(line),
+        }
+    }
+
+    fn unsafe_site(&self, idx: usize) -> UnsafeSite {
+        let t = &self.tokens[idx];
+        let kind = match self.next_significant(idx).map(|n| &n.kind) {
+            Some(TokenKind::Ident(n)) if n == "fn" => "fn",
+            Some(TokenKind::Ident(n)) if n == "impl" => "impl",
+            Some(TokenKind::Ident(n)) if n == "trait" => "trait",
+            _ => "block",
+        };
+        let safety = self
+            .safety_above(t.line)
+            .or_else(|| self.safety_above(self.stmt_start_line(idx)));
+        let documented = safety.is_some() || (kind != "block" && self.doc_safety_above(t.line));
+        UnsafeSite {
+            file: self.file.to_string(),
+            line: t.line,
+            kind,
+            documented,
+            safety,
+        }
+    }
+
+    fn run(&self, cfg: &Config) -> FileReport {
+        let mut rep = FileReport::default();
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.is_comment() || self.attr[i] {
+                continue;
+            }
+            let TokenKind::Ident(name) = &t.kind else {
+                continue;
+            };
+            match name.as_str() {
+                "unsafe" => {
+                    let site = self.unsafe_site(i);
+                    if !site.documented {
+                        rep.findings.push(self.finding(
+                            "undocumented-unsafe",
+                            t.line,
+                            format!("`unsafe` {} without a `// SAFETY:` comment", site.kind),
+                        ));
+                    }
+                    rep.unsafe_sites.push(site);
+                }
+                "HashMap" | "HashSet" if self.in_scope(cfg, "hash-collection") => {
+                    rep.findings.push(self.finding(
+                        "hash-collection",
+                        t.line,
+                        format!(
+                            "`{name}` has nondeterministic iteration order; use \
+                             `BTree{}` or an index-keyed `Vec`",
+                            &name[4..]
+                        ),
+                    ));
+                }
+                "Instant" | "SystemTime" if self.in_scope(cfg, "wall-clock") => {
+                    rep.findings.push(self.finding(
+                        "wall-clock",
+                        t.line,
+                        format!(
+                            "`{name}` reads the wall clock; simulation results must \
+                                 not depend on real time"
+                        ),
+                    ));
+                }
+                "env" if self.followed_by_path_sep(i) && self.in_scope(cfg, "env-read") => {
+                    rep.findings.push(
+                        self.finding(
+                            "env-read",
+                            t.line,
+                            "`std::env` read inside a simulation crate; results must not \
+                         depend on the environment"
+                                .to_string(),
+                        ),
+                    );
+                }
+                "thread_rng" | "ThreadRng" | "StdRng" | "SmallRng" | "RandomState"
+                | "getrandom"
+                    if self.in_scope(cfg, "nondet-random") =>
+                {
+                    rep.findings.push(self.finding(
+                        "nondet-random",
+                        t.line,
+                        format!(
+                            "`{name}` is OS-seeded randomness; use the seeded \
+                                 deterministic generators"
+                        ),
+                    ));
+                }
+                "rand" if self.followed_by_path_sep(i) && self.in_scope(cfg, "nondet-random") => {
+                    rep.findings.push(self.finding(
+                        "nondet-random",
+                        t.line,
+                        "`rand::` path; use the seeded deterministic generators".to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        rep
+    }
+}
+
+/// Marks tokens that belong to attributes (`#[…]`, `#![…]`), bracket-depth
+/// aware so `#[cfg(feature = "x")]` with nested brackets is covered whole.
+fn mark_attrs(tokens: &[Token]) -> Vec<bool> {
+    let mut attr = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct('#') {
+            let mut j = i + 1;
+            while j < tokens.len() && tokens[j].is_comment() {
+                j += 1;
+            }
+            if tokens.get(j).map(|t| &t.kind) == Some(&TokenKind::Punct('!')) {
+                j += 1;
+            }
+            if tokens.get(j).map(|t| &t.kind) == Some(&TokenKind::Punct('[')) {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < tokens.len() {
+                    match tokens[k].kind {
+                        TokenKind::Punct('[') => depth += 1,
+                        TokenKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = k.min(tokens.len() - 1);
+                for flag in &mut attr[i..=end] {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    attr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileReport {
+        scan_file(
+            "crates/simkit/src/x.rs",
+            Some("simkit"),
+            src,
+            &Config::default(),
+        )
+    }
+
+    #[test]
+    fn documented_unsafe_block_passes() {
+        let rep = scan("fn f() {\n    // SAFETY: index is in bounds by construction.\n    unsafe { go() }\n}\n");
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.unsafe_sites.len(), 1);
+        assert!(rep.unsafe_sites[0].documented);
+        assert_eq!(rep.unsafe_sites[0].kind, "block");
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_fails() {
+        let rep = scan("fn f() {\n    unsafe { go() }\n}\n");
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].rule, "undocumented-unsafe");
+        assert_eq!(rep.findings[0].line, 2);
+    }
+
+    #[test]
+    fn statement_level_comment_covers_inline_unsafe_args() {
+        let rep = scan(
+            "fn f() {\n    // SAFETY: both slots are distinct by the region map.\n    step(\n        unsafe { a.get_mut(0) },\n        unsafe { b.get_mut(1) },\n    );\n}\n",
+        );
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.unsafe_sites.len(), 2);
+    }
+
+    #[test]
+    fn blank_line_breaks_the_comment_link() {
+        let rep = scan("fn f() {\n    // SAFETY: too far away.\n\n    unsafe { go() }\n}\n");
+        assert_eq!(rep.findings.len(), 1);
+    }
+
+    #[test]
+    fn attribute_between_comment_and_fn_is_transparent() {
+        let rep =
+            scan("// SAFETY: caller upholds the aliasing contract.\n#[inline]\nunsafe fn f() {}\n");
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.unsafe_sites[0].kind, "fn");
+    }
+
+    #[test]
+    fn doc_safety_section_documents_unsafe_fn_but_not_block() {
+        let ok = scan("/// Does things.\n///\n/// # Safety\n/// Caller must hold the lock.\nunsafe fn f() {}\n");
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        let bad = scan("fn g() {\n    /// # Safety nonsense\n    unsafe { go() }\n}\n");
+        assert_eq!(
+            bad.findings.len(),
+            1,
+            "doc # Safety must not document a block"
+        );
+        assert!(!bad.unsafe_sites[0].documented);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_invisible() {
+        let rep = scan("fn f() {\n    let s = \"unsafe { x }\";\n    // unsafe { y }\n}\n");
+        assert!(rep.unsafe_sites.is_empty());
+        assert!(rep.findings.is_empty());
+    }
+
+    #[test]
+    fn hash_collection_flagged_only_in_scope() {
+        let src = "use std::collections::HashMap;\n";
+        let rep = scan(src);
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].rule, "hash-collection");
+        // Same source, crate out of the configured scope: clean.
+        let mut cfg = Config::default();
+        cfg.rule_crates
+            .insert("hash-collection".to_string(), vec!["other".to_string()]);
+        let scoped = scan_file("crates/simkit/src/x.rs", Some("simkit"), src, &cfg);
+        assert!(scoped.findings.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_env_and_random_flagged() {
+        let rep = scan(
+            "fn f() {\n    let t = std::time::Instant::now();\n    let v = std::env::var(\"X\");\n    let r = rand::thread_rng();\n}\n",
+        );
+        let rules: Vec<&str> = rep.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"wall-clock"), "{rules:?}");
+        assert!(rules.contains(&"env-read"), "{rules:?}");
+        assert!(rules.contains(&"nondet-random"), "{rules:?}");
+    }
+
+    #[test]
+    fn env_macro_is_not_an_env_read() {
+        let rep = scan("fn f() {\n    let dir = env!(\"CARGO_MANIFEST_DIR\");\n}\n");
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn unsafe_impl_with_trailing_comment_kind() {
+        let rep = scan("// SAFETY: T is Send.\nunsafe impl<T> Sync for W<T> {}\n");
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.unsafe_sites[0].kind, "impl");
+    }
+}

@@ -1,0 +1,256 @@
+//! Fixture-based positive/negative tests for every lint rule: inline
+//! source snippets → expected findings. The snippets live in raw strings,
+//! which the token-level rules cannot see into — so this file itself stays
+//! lint-clean when the real workspace is scanned.
+
+use simlint::config::Config;
+use simlint::rules::{scan_file, Finding};
+
+/// Scans `src` as if it were a file of the `simkit` crate, with an empty
+/// config (every rule in scope).
+fn scan(src: &str) -> Vec<Finding> {
+    scan_file(
+        "crates/simkit/src/fixture.rs",
+        Some("simkit"),
+        src,
+        &Config::default(),
+    )
+    .findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---- undocumented-unsafe ----
+
+#[test]
+fn unsafe_block_with_safety_comment_is_clean() {
+    let src = r#"
+fn f(p: *mut u8) {
+    // SAFETY: p is valid for writes by the caller's contract.
+    unsafe { *p = 1 };
+}
+"#;
+    assert_eq!(scan(src), vec![]);
+}
+
+#[test]
+fn unsafe_block_without_comment_is_flagged() {
+    let src = r#"
+fn f(p: *mut u8) {
+    unsafe { *p = 1 };
+}
+"#;
+    let findings = scan(src);
+    assert_eq!(rules_of(&findings), vec!["undocumented-unsafe"]);
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn non_safety_comment_does_not_count() {
+    let src = r#"
+fn f(p: *mut u8) {
+    // definitely fine, trust me
+    unsafe { *p = 1 };
+}
+"#;
+    assert_eq!(rules_of(&scan(src)), vec!["undocumented-unsafe"]);
+}
+
+#[test]
+fn safety_comment_above_statement_covers_all_unsafe_within_it() {
+    let src = r#"
+fn f() {
+    // SAFETY: regions own disjoint index sets.
+    step(
+        unsafe { a.get_mut(0) },
+        unsafe { b.get_mut(1) },
+    );
+}
+"#;
+    assert_eq!(scan(src), vec![]);
+}
+
+#[test]
+fn safety_comment_does_not_leak_across_statements() {
+    let src = r#"
+fn f() {
+    // SAFETY: covers only the next statement.
+    unsafe { a() };
+    unsafe { b() };
+}
+"#;
+    let findings = scan(src);
+    assert_eq!(rules_of(&findings), vec!["undocumented-unsafe"]);
+    assert_eq!(findings[0].line, 5);
+}
+
+#[test]
+fn closed_block_of_previous_statement_is_a_boundary() {
+    let src = r#"
+fn f() {
+    if cond() {
+        prepare();
+    }
+    unsafe { a() };
+}
+"#;
+    assert_eq!(rules_of(&scan(src)), vec!["undocumented-unsafe"]);
+}
+
+#[test]
+fn doc_safety_section_documents_unsafe_fn() {
+    let src = r#"
+/// Frobnicates.
+///
+/// # Safety
+///
+/// `p` must be valid for writes.
+pub unsafe fn frob(p: *mut u8) {
+    // SAFETY: forwarded from the function contract.
+    unsafe { *p = 1 }
+}
+"#;
+    assert_eq!(scan(src), vec![]);
+}
+
+#[test]
+fn unsafe_impl_without_comment_is_flagged() {
+    let src = "struct W(*mut u8);\nunsafe impl Sync for W {}\n";
+    let findings = scan(src);
+    assert_eq!(rules_of(&findings), vec!["undocumented-unsafe"]);
+    assert!(findings[0].message.contains("impl"));
+}
+
+#[test]
+fn unsafe_inside_strings_and_comments_is_invisible() {
+    let src = r##"
+fn f() {
+    let a = "unsafe { nope }";
+    let b = r#"unsafe impl Sync for X {}"#;
+    // unsafe { also_not_code() }
+}
+"##;
+    assert_eq!(scan(src), vec![]);
+}
+
+// ---- hash-collection ----
+
+#[test]
+fn hash_map_and_set_are_flagged_in_scope() {
+    let src = r#"
+use std::collections::{HashMap, HashSet};
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+}
+"#;
+    let findings = scan(src);
+    assert_eq!(findings.len(), 6);
+    assert!(findings.iter().all(|f| f.rule == "hash-collection"));
+}
+
+#[test]
+fn hash_collection_out_of_scope_crate_is_clean() {
+    let mut cfg = Config::default();
+    cfg.rule_crates
+        .insert("hash-collection".into(), vec!["patronoc".into()]);
+    let src = "use std::collections::HashMap;\n";
+    let report = scan_file("crates/bench/src/x.rs", Some("bench"), src, &cfg);
+    assert_eq!(report.findings, vec![]);
+    // Same snippet inside the configured crate is flagged.
+    let report = scan_file("crates/patronoc/src/x.rs", Some("patronoc"), src, &cfg);
+    assert_eq!(rules_of(&report.findings), vec!["hash-collection"]);
+}
+
+#[test]
+fn btree_collections_are_clean() {
+    let src = "use std::collections::{BTreeMap, BTreeSet};\n";
+    assert_eq!(scan(src), vec![]);
+}
+
+// ---- wall-clock ----
+
+#[test]
+fn instant_and_system_time_are_flagged() {
+    let src = r#"
+fn f() {
+    let t0 = std::time::Instant::now();
+    let t1 = std::time::SystemTime::now();
+}
+"#;
+    let findings = scan(src);
+    assert_eq!(rules_of(&findings), vec!["wall-clock", "wall-clock"]);
+}
+
+#[test]
+fn wall_clock_allow_entry_suppresses_matching_line_only() {
+    let mut cfg = Config::default();
+    cfg.allow.push(simlint::config::AllowEntry {
+        rule: "wall-clock".into(),
+        file: "crates/simkit/src/fixture.rs".into(),
+        contains: Some("wall_start".into()),
+        reason: "telemetry".into(),
+    });
+    let src = r#"
+fn f() {
+    let wall_start = std::time::Instant::now();
+    let sneaky = std::time::Instant::now();
+}
+"#;
+    let report = scan_file("crates/simkit/src/fixture.rs", Some("simkit"), src, &cfg);
+    let surviving: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            !cfg.allow
+                .iter()
+                .any(|a| a.matches(f.rule, &f.file, &f.line_text))
+        })
+        .collect();
+    assert_eq!(surviving.len(), 1);
+    assert_eq!(surviving[0].line, 4);
+}
+
+// ---- env-read ----
+
+#[test]
+fn env_path_reads_are_flagged_but_env_macro_is_not() {
+    let src = r#"
+fn f() {
+    let a = std::env::var("X");
+    let b = env!("CARGO_MANIFEST_DIR");
+}
+"#;
+    let findings = scan(src);
+    assert_eq!(rules_of(&findings), vec!["env-read"]);
+    assert_eq!(findings[0].line, 3);
+}
+
+// ---- nondet-random ----
+
+#[test]
+fn os_seeded_randomness_is_flagged() {
+    let src = r#"
+fn f() {
+    let mut rng = rand::thread_rng();
+    let s: RandomState = RandomState::new();
+    let r = StdRng::from_entropy();
+}
+"#;
+    let findings = scan(src);
+    assert!(findings.iter().all(|f| f.rule == "nondet-random"));
+    assert!(findings.len() >= 3, "{findings:?}");
+}
+
+#[test]
+fn seeded_in_tree_rng_is_clean() {
+    let src = r#"
+fn f() {
+    let mut rng = simkit::Rng::new(0xB0C5);
+    let x = rng.next_u64();
+}
+"#;
+    assert_eq!(scan(src), vec![]);
+}

@@ -37,6 +37,8 @@
 //! let _maybe_transfer = src.poll(0, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dnn;
 pub mod source;
 pub mod synthetic;

@@ -209,7 +209,7 @@ mod tests {
         let mut src = UniformRandom::new_copies(cfg(1.0, 64));
         let transfers = drain(&mut src, 2, 20_000);
         assert!(!transfers.is_empty());
-        let mut sources = std::collections::HashSet::new();
+        let mut sources = std::collections::BTreeSet::new();
         for t in &transfers {
             match t.kind {
                 TransferKind::Copy { src, src_offset } => {

@@ -1,4 +1,6 @@
 //! Top-level re-exports for the PATRONoC reproduction workspace.
+
+#![forbid(unsafe_code)]
 pub use axi;
 pub use packetnoc;
 pub use patronoc;
