@@ -133,6 +133,74 @@ impl IdRemapper {
             .map(|s| s.key)
     }
 
+    /// Exports the remap table's dynamic state for checkpointing:
+    /// `(slots, free)` where `slots[i]` is the live `(key, inflight)` of
+    /// downstream ID `i` and `free` is the free list **verbatim** — its
+    /// LIFO order decides which downstream ID the next new source key
+    /// gets, so it is behaviorally significant state, not bookkeeping.
+    #[must_use]
+    pub fn export(&self) -> (Vec<Option<(SourceKey, u32)>>, Vec<u16>) {
+        (
+            self.slots
+                .iter()
+                .map(|s| s.as_ref().map(|s| (s.key, s.inflight)))
+                .collect(),
+            self.free.clone(),
+        )
+    }
+
+    /// Rebuilds a remapper from [`export`](Self::export)ed state,
+    /// validating the structural invariants before constructing anything:
+    /// capacity is a power of two in `2..=65536`, the free list holds
+    /// exactly the empty slots (each once, in range), live slots carry a
+    /// non-zero in-flight count, and no source key occupies two slots.
+    /// The key index is rebuilt from the slots.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated invariant.
+    pub fn from_parts(
+        slots: Vec<Option<(SourceKey, u32)>>,
+        free: Vec<u16>,
+    ) -> Result<Self, &'static str> {
+        let n = slots.len();
+        if !(2..=65_536).contains(&n) || !n.is_power_of_two() {
+            return Err("remapper capacity not a power of two in range");
+        }
+        let mut by_key = BTreeMap::new();
+        let mut occupied = 0usize;
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some((key, inflight)) = slot {
+                if *inflight == 0 {
+                    return Err("remapper slot with zero in-flight count");
+                }
+                if by_key.insert(*key, i as u16).is_some() {
+                    return Err("remapper source key in two slots");
+                }
+                occupied += 1;
+            }
+        }
+        if free.len() != n - occupied {
+            return Err("remapper free list size mismatch");
+        }
+        let mut seen = vec![false; n];
+        for &idx in &free {
+            let i = idx as usize;
+            if i >= n || slots[i].is_some() || seen[i] {
+                return Err("remapper free list entry invalid");
+            }
+            seen[i] = true;
+        }
+        Ok(Self {
+            slots: slots
+                .into_iter()
+                .map(|s| s.map(|(key, inflight)| Slot { key, inflight }))
+                .collect(),
+            by_key,
+            free,
+        })
+    }
+
     /// Releases one in-flight transaction on `downstream`; frees the slot
     /// when the count reaches zero.
     ///
@@ -212,6 +280,35 @@ impl OrderingGuard {
     #[must_use]
     pub fn outstanding(&self) -> u32 {
         self.inflight.values().map(|&(_, n)| n).sum()
+    }
+
+    /// The in-flight entries as `(id, destination, count)` in ascending
+    /// ID order (the map's canonical order), for checkpointing.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(AxiId, usize, u32)> {
+        self.inflight
+            .iter()
+            .map(|(&id, &(dest, n))| (id, dest, n))
+            .collect()
+    }
+
+    /// Rebuilds a guard from [`entries`](Self::entries), rejecting
+    /// duplicate IDs and zero counts.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated invariant.
+    pub fn from_entries(entries: &[(AxiId, usize, u32)]) -> Result<Self, &'static str> {
+        let mut inflight = BTreeMap::new();
+        for &(id, dest, n) in entries {
+            if n == 0 {
+                return Err("ordering guard entry with zero count");
+            }
+            if inflight.insert(id, (dest, n)).is_some() {
+                return Err("ordering guard duplicate id");
+            }
+        }
+        Ok(Self { inflight })
     }
 }
 
@@ -297,6 +394,62 @@ mod tests {
         // All four acquires across both rounds succeed with only 2 slots.
         assert!(r.acquire(key(1, 0)).is_some());
         assert!(r.acquire(key(1, 1)).is_some());
+    }
+
+    #[test]
+    fn remapper_export_round_trip_preserves_free_order() {
+        let mut r = IdRemapper::new(2);
+        let a = r.acquire(key(0, 1)).unwrap();
+        let _b = r.acquire(key(1, 1)).unwrap();
+        let _c = r.acquire(key(0, 2)).unwrap();
+        r.release(a); // free list now ends with a's slot (LIFO)
+        let (slots, free) = r.export();
+        let mut restored = IdRemapper::from_parts(slots, free).unwrap();
+        // The next fresh acquire must land on the same downstream ID in
+        // both the original and the restored remapper.
+        assert_eq!(r.acquire(key(3, 3)), restored.acquire(key(3, 3)));
+        assert_eq!(r.in_use(), restored.in_use());
+        // Existing keys still resolve identically after the rebuild.
+        assert_eq!(r.acquire(key(1, 1)), restored.acquire(key(1, 1)));
+    }
+
+    #[test]
+    fn remapper_from_parts_rejects_structural_corruption() {
+        let ok_slots = vec![Some((key(0, 1), 1u32)), None];
+        assert!(IdRemapper::from_parts(ok_slots.clone(), vec![1]).is_ok());
+        // Free list pointing at a live slot.
+        assert!(IdRemapper::from_parts(ok_slots.clone(), vec![0]).is_err());
+        // Free list wrong size.
+        assert!(IdRemapper::from_parts(ok_slots.clone(), vec![]).is_err());
+        // Duplicate free entry.
+        assert!(IdRemapper::from_parts(
+            vec![Some((key(0, 1), 1)), None, None, None],
+            vec![1, 1, 2]
+        )
+        .is_err());
+        // Zero in-flight count.
+        assert!(IdRemapper::from_parts(vec![Some((key(0, 1), 0)), None], vec![1]).is_err());
+        // Duplicate source key.
+        assert!(
+            IdRemapper::from_parts(vec![Some((key(0, 1), 1)), Some((key(0, 1), 1))], vec![])
+                .is_err()
+        );
+        // Non-power-of-two capacity.
+        assert!(IdRemapper::from_parts(vec![None, None, None], vec![0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn ordering_guard_entries_round_trip() {
+        let mut g = OrderingGuard::new();
+        g.issue(AxiId(4), 2);
+        g.issue(AxiId(4), 2);
+        g.issue(AxiId(1), 3);
+        let restored = OrderingGuard::from_entries(&g.entries()).unwrap();
+        assert_eq!(restored.entries(), g.entries());
+        assert_eq!(restored.outstanding(), 3);
+        assert!(!restored.may_issue(AxiId(4), 0));
+        assert!(OrderingGuard::from_entries(&[(AxiId(1), 0, 0)]).is_err());
+        assert!(OrderingGuard::from_entries(&[(AxiId(1), 0, 1), (AxiId(1), 1, 1)]).is_err());
     }
 
     #[test]

@@ -98,6 +98,30 @@ impl SplitCursor {
     pub fn is_done(&self) -> bool {
         self.remaining == 0
     }
+
+    /// The cursor's three words of state `(cur, remaining, beat_bytes)`,
+    /// for checkpointing.
+    #[must_use]
+    pub fn parts(&self) -> (u64, u64, u64) {
+        (self.cur, self.remaining, self.beat_bytes)
+    }
+
+    /// Rebuilds a cursor from [`parts`](Self::parts), validating the bus
+    /// width instead of panicking on corrupt snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated invariant.
+    pub fn from_parts(cur: u64, remaining: u64, beat_bytes: u64) -> Result<Self, &'static str> {
+        if !(1..=128).contains(&beat_bytes) || !beat_bytes.is_power_of_two() {
+            return Err("split cursor bus width invalid");
+        }
+        Ok(Self {
+            cur,
+            remaining,
+            beat_bytes,
+        })
+    }
 }
 
 impl Iterator for SplitCursor {

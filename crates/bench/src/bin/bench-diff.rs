@@ -1,7 +1,14 @@
-//! Compares two `BENCH_perf.json` artifacts and exits non-zero when the
-//! saturated point of any engine lost more than a threshold fraction of
-//! its activity-mode `cycles_per_sec` — the CI gate that keeps simulator
-//! performance from silently regressing.
+//! Compares two benchmark artifacts and exits non-zero when simulator
+//! speed regressed past a threshold — the CI gate that keeps simulator
+//! performance from silently regressing. Dispatches on the documents'
+//! `figure` field:
+//!
+//! * `BENCH_perf.json` (`figure = "perf"`): the saturated point of any
+//!   engine must not lose more than the threshold fraction of its
+//!   activity-mode `cycles_per_sec`.
+//! * `BENCH_scaling.json` (`figure = "scaling"`): the serial run of any
+//!   mesh size must not lose more than its **per-size** threshold (small
+//!   meshes gate looser — their quick windows measure noisier).
 //!
 //! ```text
 //! bench-diff BASELINE.json CURRENT.json [--threshold F]
@@ -13,7 +20,10 @@
 //! its workflow passes a deliberately loose threshold — the tight default
 //! is for like-for-like hardware.
 
-use bench::diff::{compare_saturated, parse_points, Comparison, DEFAULT_THRESHOLD};
+use bench::diff::{
+    compare_saturated, compare_scaling, figure, parse_points, parse_scaling_points, Comparison,
+    ScalingComparison, DEFAULT_THRESHOLD,
+};
 use bench::json::Json;
 use std::path::PathBuf;
 use std::process::exit;
@@ -67,12 +77,10 @@ fn parse_threshold(v: &str) -> Result<f64, String> {
     }
 }
 
-fn load_points(path: &PathBuf) -> Vec<bench::diff::PerfPoint> {
+fn load_doc(path: &PathBuf) -> Json {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
-    let doc =
-        Json::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {}: {e}", path.display())));
-    parse_points(&doc).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {}: {e}", path.display())))
 }
 
 fn fail(msg: &str) -> ! {
@@ -80,17 +88,11 @@ fn fail(msg: &str) -> ! {
     exit(2);
 }
 
-fn main() {
-    let env_threshold = std::env::var("BENCH_DIFF_THRESHOLD").ok();
-    let opts = match try_parse(std::env::args().skip(1), env_threshold.as_deref()) {
-        Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("error: {msg}\n{USAGE}");
-            exit(2);
-        }
-    };
-    let baseline = load_points(&opts.baseline);
-    let current = load_points(&opts.current);
+fn diff_perf(opts: &Options, baseline: &Json, current: &Json) -> usize {
+    let baseline = parse_points(baseline)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.baseline.display())));
+    let current =
+        parse_points(current).unwrap_or_else(|e| fail(&format!("{}: {e}", opts.current.display())));
     let comparisons = compare_saturated(&baseline, &current);
     if comparisons.is_empty() {
         fail("no engine is measured at a common load in both files");
@@ -122,10 +124,71 @@ fn main() {
             100.0 * c.change()
         );
     }
-    if !regressions.is_empty() {
+    regressions.len()
+}
+
+fn diff_scaling(opts: &Options, baseline: &Json, current: &Json) -> usize {
+    let baseline = parse_scaling_points(baseline)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.baseline.display())));
+    let current = parse_scaling_points(current)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.current.display())));
+    let comparisons = compare_scaling(&baseline, &current);
+    if comparisons.is_empty() {
+        fail("no mesh size is measured in both files");
+    }
+
+    println!(
+        "serial-run simulator speed per mesh vs {} (base threshold {:.1}%, scaled per size)",
+        opts.baseline.display(),
+        100.0 * opts.threshold
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>9} {:>11}",
+        "mesh", "baseline cyc/s", "current cyc/s", "change", "threshold"
+    );
+    let mut regressions: Vec<&ScalingComparison> = Vec::new();
+    for c in &comparisons {
+        let flag = if c.regressed(opts.threshold) {
+            regressions.push(c);
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>+8.1}% {:>10.1}%{flag}",
+            c.mesh,
+            c.baseline_cps,
+            c.current_cps,
+            100.0 * c.change(),
+            100.0 * c.threshold(opts.threshold)
+        );
+    }
+    regressions.len()
+}
+
+fn main() {
+    let env_threshold = std::env::var("BENCH_DIFF_THRESHOLD").ok();
+    let opts = match try_parse(std::env::args().skip(1), env_threshold.as_deref()) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let baseline = load_doc(&opts.baseline);
+    let current = load_doc(&opts.current);
+    let fig =
+        figure(&baseline).unwrap_or_else(|e| fail(&format!("{}: {e}", opts.baseline.display())));
+    let regressions = match fig.as_str() {
+        "perf" => diff_perf(&opts, &baseline, &current),
+        "scaling" => diff_scaling(&opts, &baseline, &current),
+        other => fail(&format!(
+            "unsupported figure `{other}` (bench-diff gates `perf` and `scaling` artifacts)"
+        )),
+    };
+    if regressions > 0 {
         eprintln!(
-            "error: {} saturated point(s) regressed by more than {:.1}%",
-            regressions.len(),
+            "error: {regressions} point(s) regressed by more than the threshold (base {:.1}%)",
             100.0 * opts.threshold
         );
         exit(1);

@@ -12,16 +12,27 @@
 //! either violation. Emits `BENCH_perf.json` via `--json` so CI tracks
 //! the engine-speed trajectory alongside the simulated results.
 //!
+//! With `BENCH_WARM_START=1`, each (engine, load, mode) point simulates
+//! its warm-up **once**, checkpoints engine and source, and forks the
+//! best-of-N repetitions from the restored state (`bench::perf`'s warm
+//! runners) — best-of-3 pays one warm-up instead of three, and the
+//! artifact records the `warmup_cycles_saved`. Forked runs are
+//! bit-identical to cold runs, so the flag only moves wall clock.
+//!
 //! Points run *serially* regardless of `--jobs`: parallel workers would
 //! contend for cores and corrupt the wall-clock comparison.
 
 use bench::defaults::{WARMUP, WINDOW};
 use bench::json::Json;
-use bench::perf::{mode_json, run_packet, run_patronoc, telemetry_is_live, Runner};
-use bench::sweep::SweepOptions;
+use bench::perf::{
+    capture_packet_warm, capture_patronoc_warm, mode_json, run_packet, run_packet_warm,
+    run_patronoc, run_patronoc_warm, telemetry_is_live, Runner, WarmCapture, WarmRunner,
+};
+use bench::sweep::{warm_start_enabled, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::parse("PERF_QUICK");
+    let warm_start = warm_start_enabled();
     let (window, warmup) = if opts.quick {
         (60_000, 10_000)
     } else {
@@ -29,10 +40,30 @@ fn main() {
     };
     // The lowest and highest injected loads of quick-mode fig4.
     let loads = [0.001, 1.0];
-    let engines: [(&str, Runner); 2] = [("patronoc", run_patronoc), ("packet-compact", run_packet)];
+    let engines: [(&str, Runner, WarmCapture, WarmRunner); 2] = [
+        (
+            "patronoc",
+            run_patronoc,
+            capture_patronoc_warm,
+            run_patronoc_warm,
+        ),
+        (
+            "packet-compact",
+            run_packet,
+            capture_packet_warm,
+            run_packet_warm,
+        ),
+    ];
 
     println!("simulator performance: activity-driven vs full-sweep stepping");
-    println!("window {window} cycles, warmup {warmup} cycles");
+    println!(
+        "window {window} cycles, warmup {warmup} cycles{}",
+        if warm_start {
+            " (warm-start forking)"
+        } else {
+            ""
+        }
+    );
     println!(
         "{:>16} {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>12}",
         "engine",
@@ -46,11 +77,32 @@ fn main() {
     );
     // Best-of-N wall clock per mode: each repetition is a fresh engine on
     // the identical workload, so the reports must agree bit for bit and
-    // the fastest run is the least-interfered measurement.
-    let best_of = |runner: Runner, load: f64, full_sweep: bool| {
-        let mut best = runner(load, window, warmup, full_sweep);
+    // the fastest run is the least-interfered measurement. Under warm
+    // start the repetitions fork from one checkpoint (skipping the
+    // warm-up each time) and still must agree.
+    let best_of = |runner: Runner,
+                   capture: WarmCapture,
+                   warm_run: WarmRunner,
+                   load: f64,
+                   full_sweep: bool| {
+        let warm = if warm_start {
+            capture(load, warmup, full_sweep)
+        } else {
+            None
+        };
+        let mut forked: u64 = 0;
+        let mut run_once = || {
+            if let Some(w) = &warm {
+                if let Some(result) = warm_run(load, window, warmup, full_sweep, w) {
+                    forked += 1;
+                    return result;
+                }
+            }
+            runner(load, window, warmup, full_sweep)
+        };
+        let mut best = run_once();
         for _ in 1..3 {
-            let next = runner(load, window, warmup, full_sweep);
+            let next = run_once();
             assert_eq!(
                 next.report, best.report,
                 "repeated identical runs must agree"
@@ -59,15 +111,19 @@ fn main() {
                 best = next;
             }
         }
-        best
+        // Each fork skipped its warm-up; the capture itself paid one.
+        let saved = (forked * warmup).saturating_sub(warm.map_or(0, |w| w.warmup()));
+        (best, saved)
     };
     let mut points = Vec::new();
     let mut all_identical = true;
     let mut all_telemetry_live = true;
-    for (name, runner) in engines {
+    let mut warmup_saved: u64 = 0;
+    for (name, runner, capture, warm_run) in engines {
         for &load in &loads {
-            let full = best_of(runner, load, true);
-            let active = best_of(runner, load, false);
+            let (full, full_saved) = best_of(runner, capture, warm_run, load, true);
+            let (active, active_saved) = best_of(runner, capture, warm_run, load, false);
+            warmup_saved += full_saved + active_saved;
             let identical = active.report == full.report;
             all_identical &= identical;
             let telemetry_live = telemetry_is_live(&active) && telemetry_is_live(&full);
@@ -102,12 +158,18 @@ fn main() {
             ]));
         }
     }
+    if warm_start {
+        println!("warm-start forking saved {warmup_saved} warm-up cycles");
+    }
 
     opts.emit_json(&Json::obj(vec![
         ("figure", Json::str("perf")),
+        ("schema_version", Json::U64(2)),
         ("quick", Json::Bool(opts.quick)),
         ("window", Json::U64(window)),
         ("warmup", Json::U64(warmup)),
+        ("warm_start", Json::Bool(warm_start)),
+        ("warmup_cycles_saved", Json::U64(warmup_saved)),
         ("points", Json::Arr(points)),
     ]));
 

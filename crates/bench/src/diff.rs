@@ -1,14 +1,20 @@
-//! Comparison of two `BENCH_perf.json` artifacts — the core of the
-//! `bench-diff` binary, factored here so tests exercise exactly the code
-//! CI gates on.
+//! Comparison of two benchmark artifacts — the core of the `bench-diff`
+//! binary, factored here so tests exercise exactly the code CI gates on.
+//! The binary dispatches on the documents' `figure` field:
 //!
-//! The contract: for every engine present in both files, the **saturated
-//! point** (the highest load the engine was measured at in both) must not
-//! lose more than a threshold fraction of its activity-mode
-//! `cycles_per_sec` relative to the baseline. Wall clock is noisy across
-//! machines, so the CI threshold is deliberately generous; the default
-//! matches the 5 % gate the acceptance criteria name for like-for-like
-//! hardware.
+//! * `"perf"` (`BENCH_perf.json`): for every engine present in both
+//!   files, the **saturated point** (the highest load the engine was
+//!   measured at in both) must not lose more than a threshold fraction of
+//!   its activity-mode `cycles_per_sec` relative to the baseline.
+//! * `"scaling"` (`BENCH_scaling.json`): for every mesh size present in
+//!   both files, the **serial** (`threads = 1`) `cycles_per_sec` must not
+//!   regress by more than a per-size threshold — small meshes finish a
+//!   quick window in little wall time and measure noisier, so their gate
+//!   is proportionally looser (see [`ScalingComparison::threshold`]).
+//!
+//! Wall clock is noisy across machines, so the CI threshold is
+//! deliberately generous; the default matches the 5 % gate the acceptance
+//! criteria name for like-for-like hardware.
 
 use crate::json::Json;
 
@@ -82,6 +88,16 @@ fn get_str(obj: &Json, key: &str) -> Result<String, String> {
     }
 }
 
+/// The `figure` discriminant of a benchmark artifact, used by the
+/// `bench-diff` binary to pick a comparison.
+///
+/// # Errors
+///
+/// When the document is not an object or has no string `figure` field.
+pub fn figure(doc: &Json) -> Result<String, String> {
+    get_str(doc, "figure")
+}
+
 /// Extracts the perf points of a parsed `BENCH_perf.json` document.
 ///
 /// # Errors
@@ -142,6 +158,124 @@ pub fn compare_saturated(baseline: &[PerfPoint], current: &[PerfPoint]) -> Vec<C
                 load: saturated,
                 baseline_cps: at(baseline, saturated)?,
                 current_cps: at(current, saturated)?,
+            })
+        })
+        .collect()
+}
+
+/// One mesh row extracted from a `BENCH_scaling.json` document: the
+/// serial (`threads = 1`) simulator speed of one mesh size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Mesh label (`"8x8"`).
+    pub mesh: String,
+    /// Mesh side length parsed from the label.
+    pub dim: u64,
+    /// Serial `cycles_per_sec` of the mesh's speedup curve.
+    pub serial_cps: f64,
+}
+
+/// One per-mesh comparison between baseline and current scaling sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingComparison {
+    /// Mesh label.
+    pub mesh: String,
+    /// Mesh side length (drives the per-size threshold).
+    pub dim: u64,
+    /// Baseline serial `cycles_per_sec`.
+    pub baseline_cps: f64,
+    /// Current serial `cycles_per_sec`.
+    pub current_cps: f64,
+}
+
+impl ScalingComparison {
+    /// Fractional change: positive = faster than baseline.
+    #[must_use]
+    pub fn change(&self) -> f64 {
+        self.current_cps / self.baseline_cps - 1.0
+    }
+
+    /// The per-size threshold applied to this mesh: `base` scaled by the
+    /// mesh's noise factor. A small mesh burns through a quick window in
+    /// a few milliseconds of wall time, so its speed measurement carries
+    /// proportionally more scheduler jitter; a 32×32 run is long enough
+    /// for the base threshold to apply unscaled.
+    #[must_use]
+    pub fn threshold(&self, base: f64) -> f64 {
+        let noise = match self.dim {
+            0..=8 => 2.0,
+            9..=16 => 1.5,
+            _ => 1.0,
+        };
+        base * noise
+    }
+
+    /// Whether this mesh regressed by more than its per-size threshold.
+    #[must_use]
+    pub fn regressed(&self, base: f64) -> bool {
+        self.change() < -self.threshold(base)
+    }
+}
+
+/// Extracts the per-mesh serial points of a parsed `BENCH_scaling.json`
+/// document.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field, naming the key; a
+/// mesh without a `threads = 1` curve entry is an error (the serial run
+/// anchors every speedup curve the sweep emits).
+pub fn parse_scaling_points(doc: &Json) -> Result<Vec<ScalingPoint>, String> {
+    let figure = get_str(doc, "figure")?;
+    if figure != "scaling" {
+        return Err(format!(
+            "not a BENCH_scaling.json document (figure `{figure}`)"
+        ));
+    }
+    let Json::Arr(meshes) = get(doc, "meshes")? else {
+        return Err("`meshes` is not an array".into());
+    };
+    meshes
+        .iter()
+        .map(|m| {
+            let mesh = get_str(m, "mesh")?;
+            let dim = mesh
+                .split('x')
+                .next()
+                .and_then(|d| d.parse::<u64>().ok())
+                .ok_or_else(|| format!("mesh label `{mesh}` is not `NxN`"))?;
+            let Json::Arr(curve) = get(m, "speedup_curve")? else {
+                return Err(format!("mesh `{mesh}`: `speedup_curve` is not an array"));
+            };
+            let serial = curve
+                .iter()
+                .find(|p| matches!(get(p, "threads"), Ok(Json::U64(1))))
+                .ok_or_else(|| format!("mesh `{mesh}` has no serial (threads = 1) point"))?;
+            Ok(ScalingPoint {
+                dim,
+                serial_cps: get_f64(serial, "cycles_per_sec")?,
+                mesh,
+            })
+        })
+        .collect()
+}
+
+/// Pairs up every mesh size present in **both** scaling sweeps, in the
+/// baseline's mesh order.
+#[must_use]
+pub fn compare_scaling(
+    baseline: &[ScalingPoint],
+    current: &[ScalingPoint],
+) -> Vec<ScalingComparison> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let c = current.iter().find(|c| c.mesh == b.mesh)?;
+            Some(ScalingComparison {
+                mesh: b.mesh.clone(),
+                dim: b.dim,
+                baseline_cps: b.serial_cps,
+                current_cps: c.serial_cps,
             })
         })
         .collect()
@@ -225,6 +359,96 @@ mod tests {
         let base = parse_points(&doc(vec![point("patronoc", 1.0, 1e6)])).unwrap();
         let cur = parse_points(&doc(vec![point("packet-compact", 1.0, 1e6)])).unwrap();
         assert!(compare_saturated(&base, &cur).is_empty());
+    }
+
+    fn mesh(label: &str, serial_cps: f64) -> Json {
+        let curve = [(1u64, serial_cps), (2, serial_cps * 1.7)]
+            .into_iter()
+            .map(|(threads, cps)| {
+                Json::obj(vec![
+                    ("threads", Json::U64(threads)),
+                    ("cycles_per_sec", Json::F64(cps)),
+                    ("speedup", Json::F64(cps / serial_cps)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("mesh", Json::str(label)),
+            ("speedup_curve", Json::Arr(curve)),
+        ])
+    }
+
+    fn scaling_doc(meshes: Vec<Json>) -> Json {
+        Json::obj(vec![
+            ("figure", Json::str("scaling")),
+            ("meshes", Json::Arr(meshes)),
+        ])
+    }
+
+    #[test]
+    fn parses_the_scaling_schema() {
+        let d = scaling_doc(vec![mesh("8x8", 4e6), mesh("32x32", 1e5)]);
+        assert_eq!(figure(&d).unwrap(), "scaling");
+        let pts = parse_scaling_points(&d).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].mesh, "8x8");
+        assert_eq!(pts[0].dim, 8);
+        assert_eq!(pts[0].serial_cps, 4e6);
+        assert_eq!(pts[1].dim, 32);
+    }
+
+    #[test]
+    fn scaling_parse_rejects_wrong_figures_and_missing_serial_points() {
+        assert!(
+            parse_scaling_points(&doc(vec![point("patronoc", 1.0, 1e6)]))
+                .unwrap_err()
+                .contains("perf")
+        );
+        // A curve without its threads = 1 anchor is malformed.
+        let no_serial = Json::obj(vec![
+            ("mesh", Json::str("8x8")),
+            (
+                "speedup_curve",
+                Json::Arr(vec![Json::obj(vec![
+                    ("threads", Json::U64(2)),
+                    ("cycles_per_sec", Json::F64(1e6)),
+                ])]),
+            ),
+        ]);
+        assert!(parse_scaling_points(&scaling_doc(vec![no_serial]))
+            .unwrap_err()
+            .contains("no serial"));
+    }
+
+    #[test]
+    fn scaling_gate_applies_per_size_thresholds() {
+        // Every mesh 6% slower: within the 8×8 and 16×16 gates at a 5%
+        // base (their noise factors loosen it to 10% / 7.5%) but over the
+        // 32×32 gate, which applies the base threshold unscaled.
+        let base = parse_scaling_points(&scaling_doc(vec![
+            mesh("8x8", 4e6),
+            mesh("16x16", 1e6),
+            mesh("32x32", 2e5),
+        ]))
+        .unwrap();
+        let cur = parse_scaling_points(&scaling_doc(vec![
+            mesh("8x8", 4e6 * 0.94),
+            mesh("16x16", 1e6 * 0.94),
+            mesh("32x32", 2e5 * 0.94),
+        ]))
+        .unwrap();
+        let cmp = compare_scaling(&base, &cur);
+        assert_eq!(cmp.len(), 3);
+        assert!((cmp[0].threshold(0.05) - 0.10).abs() < 1e-12);
+        assert!((cmp[1].threshold(0.05) - 0.075).abs() < 1e-12);
+        assert!((cmp[2].threshold(0.05) - 0.05).abs() < 1e-12);
+        assert!(!cmp[0].regressed(0.05), "8x8 inside its loosened gate");
+        assert!(!cmp[1].regressed(0.05), "16x16 inside its loosened gate");
+        assert!(cmp[2].regressed(0.05), "32x32 over the base gate");
+        // Meshes missing from the current sweep are skipped, not fatal.
+        let cmp = compare_scaling(&base, &cur[..1]);
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].mesh, "8x8");
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //! against the serial (`threads = 1`) run of the same scenario. On the
 //! 4×4 mesh the 8-thread request clamps to the 4 row bands, so the clamp
 //! path is exercised too.
+//!
+//! With `BENCH_WARM_START=1` (CI runs the suite both ways) every cell is
+//! additionally reproduced by **warm-start forking**: the scenario's
+//! warm-up is simulated once, checkpointed, and each thread count forks
+//! from the restored state — the fork must match the serial run bit for
+//! bit too, including the canonical `state_digest`.
 
 use bench::defaults;
-use scenario::{PacketProfile, Scenario, TrafficSpec};
+use scenario::{capture_warm, run_warm, PacketProfile, Scenario, TrafficSpec};
 use simkit::SimReport;
 use traffic::{DnnWorkload, SyntheticPattern};
 
@@ -24,6 +30,14 @@ const LOADS: [f64; 3] = [0.001, 0.3, 1.0];
 
 fn assert_bit_identical(serial: &SimReport, sharded: &SimReport, what: &str) {
     assert_eq!(serial, sharded, "{what}: report diverged");
+    // The canonical end-state digest is part of `SimReport::eq`, but it is
+    // the strongest single observable — a serial and a sharded run agree
+    // on it only if every in-flight record, buffer, router and RNG ended
+    // identical — so assert it by name too.
+    assert_eq!(
+        serial.state_digest, sharded.state_digest,
+        "{what}: state digest diverged"
+    );
     assert_eq!(
         serial.throughput_gib_s.to_bits(),
         sharded.throughput_gib_s.to_bits(),
@@ -37,13 +51,20 @@ fn assert_bit_identical(serial: &SimReport, sharded: &SimReport, what: &str) {
 }
 
 /// Runs `scenario` serially, then at every matrix thread count, asserting
-/// bit identity cell by cell.
+/// bit identity cell by cell. Under `BENCH_WARM_START=1` each thread count
+/// is also forked from a single warm-up checkpoint and compared against
+/// the same serial reference.
 fn assert_thread_invariant(scenario: &Scenario, what: &str) {
     let serial = scenario
         .clone()
         .threads(1)
         .run()
         .expect("valid serial scenario");
+    let warm = if bench::sweep::warm_start_enabled() {
+        capture_warm(scenario)
+    } else {
+        None
+    };
     for threads in THREADS {
         let sharded = scenario
             .clone()
@@ -52,6 +73,15 @@ fn assert_thread_invariant(scenario: &Scenario, what: &str) {
             .expect("valid sharded scenario");
         assert_eq!(sharded.threads, threads, "{what}: threads not recorded");
         assert_bit_identical(&serial, &sharded, &format!("{what} @ {threads} threads"));
+        if let Some(point) = &warm {
+            let forked = run_warm(&scenario.clone().threads(threads), point)
+                .expect("warm fork of a capturable scenario runs");
+            assert_bit_identical(
+                &serial,
+                &forked,
+                &format!("{what} warm fork @ {threads} threads"),
+            );
+        }
     }
 }
 

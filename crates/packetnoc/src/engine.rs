@@ -12,16 +12,22 @@ use crate::config::PacketNocConfig;
 use crate::ni::NetworkInterface;
 use crate::router::{Flit, FlitKind, Port, Router, LOCAL, PORTS};
 use crate::shard::{ShardBufView, Sharding};
-use crate::txn::TxRecord;
+use crate::snapcodec::{corrupt, decode_transfer, encode_transfer};
+use crate::txn::{TxHandle, TxRecord};
 use simkit::pool::{crew_scope, Crew};
 use simkit::region::{DisjointSlots, RegionMap};
 use simkit::sched::ActiveSet;
 use simkit::slab::SlabStats;
+use simkit::snap::{DecodeLimits, Decoder, Encoder, SnapError};
 use simkit::{
     Cycle, Fifo, Histogram, ProgressWatchdog, SimReport, Slab, StopReason, ThroughputMeter,
 };
 
 use traffic::TrafficSource;
+
+/// Per-region slot → canonical record number map (see
+/// [`PacketNocSim::canonical_txs`]).
+type CanonMap = Vec<Vec<Option<u32>>>;
 
 /// The packet-based baseline NoC simulator.
 #[derive(Debug)]
@@ -300,6 +306,7 @@ impl PacketNocSim {
             threads: self.cfg.threads,
             slab_high_water: slab.high_water,
             allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
+            state_digest: self.state_digest(),
         }
     }
 
@@ -659,6 +666,366 @@ impl PacketNocSim {
         }
         self.now += 1;
         self.sharding = Some(sharding);
+    }
+}
+
+/// Checkpointing: compact binary snapshots of the complete deterministic
+/// simulation state (see `simkit::snap` for the container format). A
+/// snapshot captures everything the cycle loop evolves — flit buffers,
+/// wormhole locks, arbiter cursors, NI queues, arena-resident transfer
+/// records, counters, meter, scheduler — and **excludes** wall-clock
+/// telemetry (`wall_cycles`, `wall_secs`), which restarts at zero on
+/// restore. `snapshot` → `restore` → `run` is bit-identical to running
+/// straight through, which is what lets `bench::sweep` fork many
+/// measurement runs off one warm-up.
+///
+/// Slab handles are never serialized raw: slot indices are allocation
+/// accidents (they differ across thread counts and across a restore), so
+/// records are numbered by a canonical first-reference traversal and every
+/// flit, queue entry and emission references that number instead — see
+/// `canonical_txs`.
+impl PacketNocSim {
+    /// This engine's discriminant in the snapshot header.
+    pub const SNAP_KIND: u8 = 2;
+
+    /// Configuration fingerprint carried in the snapshot header: FNV-1a 64
+    /// over the canonical encoding of every behaviour-affecting
+    /// configuration field. The stepping-strategy knobs —
+    /// [`PacketNocConfig::threads`], [`PacketNocConfig::full_sweep`] and
+    /// the saturate thresholds — are deliberately **excluded**: every
+    /// stepping strategy evolves bit-identical state (pinned by the
+    /// equivalence tests), so a snapshot is portable across all of them
+    /// and the state digest never depends on how the state was stepped.
+    #[must_use]
+    pub fn shape(&self) -> u64 {
+        let cfg = &self.cfg;
+        let mut e = Encoder::new(0, 0);
+        e.usize(cfg.cols);
+        e.usize(cfg.rows);
+        e.usize(cfg.vcs);
+        e.usize(cfg.buf_flits);
+        e.u32(cfg.flit_bytes);
+        e.u16(cfg.packet_flits);
+        e.u32(cfg.payload_per_packet);
+        e.u32(cfg.router_extra_latency);
+        e.usize(cfg.ni_queue_cap);
+        e.digest()
+    }
+
+    /// Serializes the complete deterministic state as a self-validating
+    /// byte string. Restoring it (on an engine built from an equivalent
+    /// configuration) and continuing reproduces a straight run bit for
+    /// bit.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new(Self::SNAP_KIND, self.shape());
+        self.encode_state(&mut e, true);
+        e.finish()
+    }
+
+    /// FNV-1a 64 digest of the canonical *comparable* state: simulation
+    /// time plus every buffer, router, NI and in-flight record, and the
+    /// delivery counters and latency histogram they feed. Excluded on
+    /// purpose — the meter (its warm-up split differs between a straight
+    /// run and a warm-started fork measuring the same window), the
+    /// scheduler and slab telemetry (both differ between serial and
+    /// sharded stepping while the simulated hardware state does not), and
+    /// the stop reason. Equal digests ⇔ equal hardware state, which is
+    /// what the serial-vs-sharded and straight-vs-fork equivalence tests
+    /// assert.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut e = Encoder::new(Self::SNAP_KIND, self.shape());
+        self.encode_state(&mut e, false);
+        e.digest()
+    }
+
+    /// Enumerates every live arena record in canonical first-reference
+    /// order: NI queues (then the in-emission record) in ascending node
+    /// order, then buffered flits in ascending buffer order. Returns the
+    /// per-region slot → canonical-number map alongside the ordered
+    /// records.
+    ///
+    /// Every live record is reachable: a record with unsent packets sits
+    /// in its NI's queue (or is the packet mid-emission), and a record
+    /// fully serialized but not yet retired still has an undelivered tail
+    /// flit in some buffer — asserted below, since an unreachable record
+    /// would silently vanish from the snapshot.
+    fn canonical_txs(&self) -> (CanonMap, Vec<(u32, TxHandle)>) {
+        let mut map: CanonMap = vec![Vec::new(); self.txs.len()];
+        let mut order: Vec<(u32, TxHandle)> = Vec::new();
+        let mut note = |region: usize, h: TxHandle| {
+            let slots = &mut map[region];
+            let slot = h.index();
+            if slot >= slots.len() {
+                slots.resize(slot + 1, None);
+            }
+            if slots[slot].is_none() {
+                slots[slot] = Some(u32::try_from(order.len()).expect("record count fits u32"));
+                order.push((u32::try_from(region).expect("region fits u32"), h));
+            }
+        };
+        for (node, ni) in self.nis.iter().enumerate() {
+            let region = self.node_region[node] as usize;
+            ni.for_each_tx(&self.txs[region], |h| note(region, h));
+        }
+        for f in self.bufs.iter().flat_map(Fifo::iter) {
+            note(self.node_region[f.src] as usize, f.tx);
+        }
+        let live: usize = self.txs.iter().map(Slab::len).sum();
+        assert_eq!(order.len(), live, "every live record must be referenced");
+        (map, order)
+    }
+
+    /// Writes the engine state into `e`. `full` includes the run-control
+    /// state a restore needs (stop reason, meter, scheduler, slab
+    /// telemetry); the digest path omits it (see
+    /// [`state_digest`](Self::state_digest)).
+    fn encode_state(&self, e: &mut Encoder, full: bool) {
+        let (canon, order) = self.canonical_txs();
+        let canon_of =
+            |region: usize, h: TxHandle| u64::from(canon[region][h.index()].expect("live record"));
+        e.section(1, |e| {
+            e.u64(self.now);
+            if full {
+                e.byte(match self.stop_reason {
+                    StopReason::Budget => 0,
+                    StopReason::Drained => 1,
+                    StopReason::WindowComplete => 2,
+                });
+            }
+        });
+        if full {
+            e.section(2, |e| self.meter.encode(e));
+        }
+        e.section(3, |e| {
+            e.usize(order.len());
+            for &(region, h) in &order {
+                let rec = &self.txs[region as usize][h];
+                e.usize(rec.src);
+                encode_transfer(e, &rec.transfer);
+                e.u64(rec.to_send);
+                e.u64(rec.undelivered);
+            }
+        });
+        e.section(4, |e| {
+            for (node, ni) in self.nis.iter().enumerate() {
+                let region = self.node_region[node] as usize;
+                ni.encode_state(e, &self.txs[region], &mut |h| canon_of(region, h));
+            }
+        });
+        e.section(5, |e| {
+            for buf in &self.bufs {
+                buf.encode_with(e, |e, f| {
+                    e.byte(match f.kind {
+                        FlitKind::Head => 0,
+                        FlitKind::Body => 1,
+                        FlitKind::Tail => 2,
+                    });
+                    e.u64(canon_of(self.node_region[f.src] as usize, f.tx));
+                    e.u32(f.payload);
+                    e.u64(f.injected_at);
+                });
+            }
+        });
+        e.section(6, |e| {
+            for r in &self.routers {
+                r.encode_state(e);
+            }
+        });
+        e.section(7, |e| {
+            e.u64(self.packets_delivered);
+            e.u64(self.transfers_completed);
+            self.latency.encode(e);
+        });
+        if full {
+            e.section(8, |e| {
+                e.bool(self.saturated);
+                e.u64(self.work_items);
+                for set in [&self.hot_bufs, &self.hot_nis, &self.hot_routers] {
+                    let idx = set.indices();
+                    e.usize(idx.len());
+                    for i in idx {
+                        e.usize(i);
+                    }
+                }
+            });
+            e.section(9, |e| {
+                let s = self.allocation_stats();
+                e.u64(s.allocs);
+                e.u64(s.high_water);
+            });
+        }
+    }
+
+    /// Replaces this engine's state with the snapshot's, **all or
+    /// nothing**: the bytes are validated (container digest first, then
+    /// every structural invariant) while rebuilding into a fresh engine,
+    /// and only a fully successful decode is committed — on any error the
+    /// current state is left untouched.
+    ///
+    /// The snapshot must come from an engine whose configuration matches
+    /// this one's [`shape`](Self::shape); thread count may differ.
+    ///
+    /// # Errors
+    ///
+    /// A [`SnapError`] naming the first violated container or engine
+    /// invariant.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut fresh = Self::new(self.cfg.clone());
+        fresh.decode_from(bytes)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Decodes `bytes` into this (freshly built) engine. Every index and
+    /// counter is validated against the engine's actual geometry before
+    /// use, so crafted (digest-valid) bytes are rejected instead of
+    /// panicking later in the cycle loop.
+    fn decode_from(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut d = Decoder::new(
+            bytes,
+            Self::SNAP_KIND,
+            self.shape(),
+            DecodeLimits::default(),
+        )?;
+        let nodes = self.cfg.num_nodes();
+        let ppp = u64::from(self.cfg.payload_per_packet);
+        let end = d.begin_section(1)?;
+        self.now = d.u64()?;
+        self.stop_reason = match d.byte()? {
+            0 => StopReason::Budget,
+            1 => StopReason::Drained,
+            2 => StopReason::WindowComplete,
+            _ => return Err(corrupt("unknown stop reason")),
+        };
+        d.end_section(end)?;
+        let end = d.begin_section(2)?;
+        self.meter = ThroughputMeter::decode(&mut d)?;
+        d.end_section(end)?;
+        // The canonical record table: re-allocate every record in its
+        // source node's region slab (this engine's own partition, so a
+        // snapshot from a differently-threaded engine lands correctly)
+        // and remember handle, source and destination per canonical
+        // number for the reference decoders below.
+        let end = d.begin_section(3)?;
+        let n_rec = d.count("transfer records")?;
+        let mut canon: Vec<(TxHandle, usize, usize)> = Vec::with_capacity(n_rec);
+        for _ in 0..n_rec {
+            let src = d.usize()?;
+            if src >= nodes {
+                return Err(corrupt("record source off the mesh"));
+            }
+            let transfer = decode_transfer(&mut d)?;
+            let to_send = d.u64()?;
+            let undelivered = d.u64()?;
+            let total = transfer.bytes.div_ceil(ppp).max(1);
+            if undelivered == 0 || undelivered > total || to_send > undelivered {
+                return Err(corrupt("record packet accounting out of bounds"));
+            }
+            let dst = transfer.dst;
+            let region = self.node_region[src] as usize;
+            let h = self.txs[region].alloc(TxRecord {
+                src,
+                transfer,
+                to_send,
+                undelivered,
+            });
+            canon.push((h, src, dst));
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(4)?;
+        {
+            let mut queued = vec![false; canon.len()];
+            for node in 0..nodes {
+                let region = self.node_region[node] as usize;
+                self.nis[node].restore_state(
+                    &mut d,
+                    &mut self.txs[region],
+                    self.cfg.vcs,
+                    &mut |idx, exclusive| {
+                        let i = usize::try_from(idx)
+                            .map_err(|_| corrupt("tx reference out of range"))?;
+                        let &(h, src, dst) =
+                            canon.get(i).ok_or(corrupt("tx reference out of range"))?;
+                        if exclusive {
+                            if queued[i] {
+                                return Err(corrupt("record queued twice"));
+                            }
+                            queued[i] = true;
+                        }
+                        Ok((h, src, dst))
+                    },
+                )?;
+            }
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(5)?;
+        for b in 0..self.bufs.len() {
+            self.bufs[b] = Fifo::decode_with(&mut d, self.cfg.buf_flits, |d| {
+                let kind = match d.byte()? {
+                    0 => FlitKind::Head,
+                    1 => FlitKind::Body,
+                    2 => FlitKind::Tail,
+                    _ => return Err(corrupt("unknown flit kind")),
+                };
+                let i =
+                    usize::try_from(d.u64()?).map_err(|_| corrupt("tx reference out of range"))?;
+                let &(tx, src, dst) = canon.get(i).ok_or(corrupt("tx reference out of range"))?;
+                let payload = d.u32()?;
+                let injected_at = d.u64()?;
+                Ok(Flit {
+                    kind,
+                    src,
+                    dst,
+                    tx,
+                    payload,
+                    injected_at,
+                })
+            })?;
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(6)?;
+        for r in &mut self.routers {
+            r.restore_state(&mut d)?;
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(7)?;
+        self.packets_delivered = d.u64()?;
+        self.transfers_completed = d.u64()?;
+        self.latency = Histogram::decode(&mut d)?;
+        d.end_section(end)?;
+        let end = d.begin_section(8)?;
+        self.saturated = d.bool()?;
+        self.work_items = d.u64()?;
+        // The fresh engine's scheduler holds everything (the cycle-0 full
+        // sweep); replace that wholesale with the captured membership.
+        for set in [&mut self.hot_bufs, &mut self.hot_nis, &mut self.hot_routers] {
+            set.clear();
+            let n = d.count("active-set members")?;
+            for _ in 0..n {
+                let i = d.usize()?;
+                if i >= set.capacity() {
+                    return Err(corrupt("active-set index out of range"));
+                }
+                set.insert(i);
+            }
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(9)?;
+        let (allocs, high_water) = (d.u64()?, d.u64()?);
+        d.end_section(end)?;
+        d.finish()?;
+        // Telemetry continuation: restoring re-allocated every live record,
+        // so credit the arena family with the snapshot's history minus
+        // what rebuilding already counted (saturating: a snapshot from a
+        // differently-sharded engine may fragment differently).
+        let s = self.allocation_stats();
+        self.txs[0].absorb_stats(
+            allocs.saturating_sub(s.allocs),
+            high_water.saturating_sub(s.high_water),
+        );
+        Ok(())
     }
 }
 
@@ -1037,5 +1404,93 @@ mod tests {
         let mut sim = PacketNocSim::new(PacketNocConfig::noxim_compact());
         let report = sim.run(&mut SelfSend(false, false), 10_000, 0);
         assert_eq!(report.payload_bytes, 8);
+    }
+
+    /// A clonable Poisson-ish stimulus with plenty of in-flight state at any
+    /// capture point.
+    fn poisson(seed: u64) -> traffic::UniformRandom {
+        traffic::UniformRandom::new_copies(traffic::UniformConfig {
+            masters: 16,
+            slaves: (0..16).collect(),
+            load: 0.6,
+            bytes_per_cycle: 4.0,
+            max_transfer: 100,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed,
+        })
+    }
+
+    #[test]
+    fn snapshot_restore_run_is_bit_identical() {
+        let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        let mut src = poisson(11);
+        sim.run(&mut src, 3_000, 0);
+        let bytes = sim.snapshot();
+        let mut forked_src = src.clone();
+
+        let straight = sim.run(&mut src, 2_000, 0);
+        let mut forked = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        forked.restore(&bytes).expect("snapshot restores");
+        assert_eq!(forked.now(), 3_000);
+        let replay = forked.run(&mut forked_src, 2_000, 0);
+
+        assert_eq!(straight, replay);
+        assert_eq!(sim.state_digest(), forked.state_digest());
+    }
+
+    #[test]
+    fn snapshot_is_portable_across_thread_counts() {
+        let mut serial = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        let mut src = poisson(23);
+        serial.run(&mut src, 3_000, 0);
+        let bytes = serial.snapshot();
+        let mut forked_src = src.clone();
+
+        let serial_report = serial.run(&mut src, 2_000, 0);
+        let mut sharded = PacketNocSim::new(PacketNocConfig {
+            threads: 4,
+            ..PacketNocConfig::noxim_high_performance()
+        });
+        sharded.restore(&bytes).expect("snapshot restores");
+        let sharded_report = sharded.run(&mut forked_src, 2_000, 0);
+
+        assert_eq!(serial_report, sharded_report);
+        assert_eq!(serial.state_digest(), sharded.state_digest());
+    }
+
+    #[test]
+    fn snapshot_of_restored_engine_is_byte_identical() {
+        let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        sim.run(&mut poisson(5), 2_500, 0);
+        let bytes = sim.snapshot();
+        let mut again = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        again.restore(&bytes).expect("snapshot restores");
+        assert_eq!(bytes, again.snapshot());
+    }
+
+    #[test]
+    fn corrupt_snapshot_leaves_the_engine_untouched() {
+        let mut sim = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        sim.run(&mut poisson(7), 2_000, 0);
+        let mut bytes = sim.snapshot();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+
+        let mut target = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        target.run(&mut poisson(9), 1_000, 0);
+        let digest = target.state_digest();
+        assert!(target.restore(&bytes).is_err());
+        assert_eq!(target.state_digest(), digest);
+        assert_eq!(target.now(), 1_000);
+    }
+
+    #[test]
+    fn snapshot_rejects_a_different_shape() {
+        let mut small = PacketNocSim::new(PacketNocConfig::noxim_compact());
+        small.run(&mut poisson(3), 500, 0);
+        let bytes = small.snapshot();
+        let mut big = PacketNocSim::new(PacketNocConfig::noxim_high_performance());
+        assert!(matches!(big.restore(&bytes), Err(SnapError::ShapeMismatch)));
     }
 }

@@ -49,6 +49,7 @@ pub mod engine;
 pub mod ni;
 pub mod router;
 pub mod shard;
+pub(crate) mod snapcodec;
 pub mod txn;
 
 pub use config::PacketNocConfig;

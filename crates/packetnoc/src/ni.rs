@@ -14,7 +14,9 @@
 
 use crate::config::PacketNocConfig;
 use crate::router::{Flit, FlitKind};
+use crate::snapcodec::corrupt;
 use crate::txn::{TxHandle, TxRecord};
+use simkit::snap::{Decoder, Encoder, SnapError};
 use simkit::{Cycle, HandleQueue, Slab};
 
 /// Per-node network interface (transmit side; receive is a sink handled by
@@ -154,6 +156,99 @@ impl NetworkInterface {
                 self.packets_injected += 1;
             }
         }
+    }
+
+    /// Walks every arena record this NI references — queue order first,
+    /// then the record of the packet currently being serialized — the
+    /// deterministic reference order snapshot canonicalization relies on.
+    pub(crate) fn for_each_tx(&self, txs: &Slab<TxRecord>, mut f: impl FnMut(TxHandle)) {
+        for h in self.queue.iter(txs) {
+            f(h);
+        }
+        if self.emit_left > 0 {
+            f(self.emit_tx.expect("mid-packet emission has a record"));
+        }
+    }
+
+    /// Serializes the NI state into `e`. Record references are written as
+    /// canonical record numbers via `canon`; the in-emission fields that
+    /// only echo the record (`emit_dst`) or are dead while idle
+    /// (`emit_payload`, `emit_started`, a stale `emit_tx` after a finished
+    /// packet) are omitted or re-derived on decode, so two engines in the
+    /// same logical state encode byte-identically.
+    pub(crate) fn encode_state(
+        &self,
+        e: &mut Encoder,
+        txs: &Slab<TxRecord>,
+        canon: &mut dyn FnMut(TxHandle) -> u64,
+    ) {
+        e.usize(self.queue.len());
+        for h in self.queue.iter(txs) {
+            e.u64(canon(h));
+        }
+        e.u16(self.emit_left);
+        if self.emit_left > 0 {
+            e.u64(canon(
+                self.emit_tx.expect("mid-packet emission has a record"),
+            ));
+            e.u32(self.emit_payload);
+            e.u64(self.emit_started);
+        }
+        e.usize(self.next_vc);
+        e.u64(self.packets_injected);
+    }
+
+    /// Restores state written by [`encode_state`](Self::encode_state) into
+    /// this freshly built NI. `resolve` maps a canonical record number to
+    /// the re-allocated handle plus the record's source node and transfer
+    /// destination; its `exclusive` flag marks queue membership so a
+    /// record can never be linked into a queue twice (which would clobber
+    /// the intrusive links). Every reference is validated against this
+    /// NI's identity and the record's packet accounting before any queue
+    /// mutation that could not be expressed by a real run.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on any framing violation or reference that a live
+    /// engine could not have produced.
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut Decoder<'_>,
+        txs: &mut Slab<TxRecord>,
+        vcs: usize,
+        resolve: &mut dyn FnMut(u64, bool) -> Result<(TxHandle, usize, usize), SnapError>,
+    ) -> Result<(), SnapError> {
+        let queued = d.count("ni queue")?;
+        for _ in 0..queued {
+            let (h, src, _dst) = resolve(d.u64()?, true)?;
+            if src != self.node {
+                return Err(corrupt("queued record from another node"));
+            }
+            if txs[h].to_send == 0 {
+                return Err(corrupt("queued record already fully serialized"));
+            }
+            self.queue.push_back(txs, h);
+        }
+        self.emit_left = d.u16()?;
+        if self.emit_left > self.packet_flits {
+            return Err(corrupt("emission longer than a packet"));
+        }
+        if self.emit_left > 0 {
+            let (h, src, dst) = resolve(d.u64()?, false)?;
+            if src != self.node {
+                return Err(corrupt("emitting a record from another node"));
+            }
+            self.emit_tx = Some(h);
+            self.emit_dst = dst;
+            self.emit_payload = d.u32()?;
+            self.emit_started = d.u64()?;
+        }
+        self.next_vc = d.usize()?;
+        if self.next_vc >= vcs {
+            return Err(corrupt("vc cursor out of range"));
+        }
+        self.packets_injected = d.u64()?;
+        Ok(())
     }
 }
 

@@ -7,7 +7,9 @@
 //! two-phase occupancy *is* the credit count).
 
 use crate::shard::BufTable;
+use crate::snapcodec::corrupt;
 use crate::txn::TxHandle;
+use simkit::snap::{Decoder, Encoder, SnapError};
 use simkit::RoundRobinArbiter;
 
 /// Flit position within its packet.
@@ -249,6 +251,38 @@ impl Router {
             }
         }
         delivered
+    }
+
+    /// Serializes the router's mutable state: the wormhole locks per
+    /// (output, vc), then the switch arbiter cursors per output port.
+    pub(crate) fn encode_state(&self, e: &mut Encoder) {
+        for lock in &self.out_lock {
+            e.option(lock.as_ref(), |e, &input| e.usize(input));
+        }
+        for arb in &self.arb {
+            e.usize(arb.cursor());
+        }
+    }
+
+    /// Restores state written by [`encode_state`](Self::encode_state),
+    /// bounding every lock holder and arbiter cursor before accepting it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on a lock naming a non-existent input port or an
+    /// out-of-range cursor.
+    pub(crate) fn restore_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapError> {
+        for lock in &mut self.out_lock {
+            let holder = d.option(|d| d.usize())?;
+            if holder.is_some_and(|input| input >= PORTS) {
+                return Err(corrupt("wormhole lock held by a non-existent port"));
+            }
+            *lock = holder;
+        }
+        for arb in &mut self.arb {
+            arb.set_cursor(d.usize()?).map_err(corrupt)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,67 @@
+//! Encode/decode helpers shared by the baseline engine's snapshot codec.
+//!
+//! The interesting problem in this crate's snapshots is *handle
+//! translation*: every in-flight [`Flit`](crate::router::Flit) carries a
+//! [`TxHandle`](crate::txn::TxHandle) into the engine's slab arenas, and
+//! slot indices are allocation accidents — they differ across thread
+//! counts and across a restore. Snapshots therefore never serialize raw
+//! handles; records are numbered by a canonical first-reference traversal
+//! (see `PacketNocSim::canonical_txs`) and every reference is written as
+//! that canonical number. This module holds the leaf codecs the engine,
+//! NI and router state serializers share.
+
+use simkit::snap::{Decoder, Encoder, SnapError};
+use traffic::{Transfer, TransferKind};
+
+/// Shorthand for the engine-invariant violation error.
+pub(crate) fn corrupt(msg: &'static str) -> SnapError {
+    SnapError::Corrupt(msg)
+}
+
+/// Serializes one transfer descriptor.
+pub(crate) fn encode_transfer(e: &mut Encoder, t: &Transfer) {
+    e.u64(t.id);
+    e.usize(t.dst);
+    e.u64(t.offset);
+    e.u64(t.bytes);
+    match t.kind {
+        TransferKind::Read => e.byte(0),
+        TransferKind::Write => e.byte(1),
+        TransferKind::Copy { src, src_offset } => {
+            e.byte(2);
+            e.usize(src);
+            e.u64(src_offset);
+        }
+    }
+}
+
+/// Decodes a transfer descriptor. The destination is deliberately *not*
+/// bounded by the mesh: an off-mesh destination wedges in the fabric
+/// (exactly as a live engine would evolve it — the watchdog tests pin
+/// that) but never indexes anything, so rejecting it would refuse
+/// legitimate snapshots.
+pub(crate) fn decode_transfer(d: &mut Decoder<'_>) -> Result<Transfer, SnapError> {
+    let id = d.u64()?;
+    let dst = d.usize()?;
+    let offset = d.u64()?;
+    let bytes = d.u64()?;
+    if bytes == 0 {
+        return Err(corrupt("zero-length transfer"));
+    }
+    let kind = match d.byte()? {
+        0 => TransferKind::Read,
+        1 => TransferKind::Write,
+        2 => TransferKind::Copy {
+            src: d.usize()?,
+            src_offset: d.u64()?,
+        },
+        _ => return Err(corrupt("unknown transfer kind")),
+    };
+    Ok(Transfer {
+        id,
+        dst,
+        offset,
+        bytes,
+        kind,
+    })
+}

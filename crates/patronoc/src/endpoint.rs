@@ -18,9 +18,13 @@
 //! arena — the endpoint hot path performs no heap allocation at all.
 
 use crate::link::{AxiLink, DataBeat, ReqBeat, RespBeat};
+use crate::snapcodec::{
+    corrupt, decode_guard, decode_resp, encode_guard, encode_resp, guard_inflight,
+};
 use axi::id::OrderingGuard;
 use axi::split::SplitCursor;
 use axi::{AxiId, AxiParams};
+use simkit::snap::{Decoder, Encoder, SnapError};
 use simkit::{Cycle, Handle, HandleQueue, Histogram, Slab, ThroughputMeter};
 use std::collections::VecDeque;
 use traffic::{Transfer, TransferKind};
@@ -376,6 +380,203 @@ impl DmaEngine {
         }
         !self.is_idle()
     }
+
+    /// Serializes the engine's dynamic state. The intrusive queues are
+    /// flattened to their records **inline, in queue order** — slab handle
+    /// indices are allocation accidents, so writing records (not handles)
+    /// makes the encoding canonical across differently-fragmented arenas.
+    pub(crate) fn encode_state(
+        &self,
+        e: &mut Encoder,
+        txns: &Slab<InflightTransfer>,
+        wstreams: &Slab<WStream>,
+    ) {
+        e.usize(self.queue.len());
+        for h in self.queue.iter(txns) {
+            encode_inflight(e, &txns[h]);
+        }
+        e.option(self.active.as_ref(), |e, h| encode_inflight(e, &txns[*h]));
+        e.u32(self.outstanding_rd);
+        e.u32(self.outstanding_wr);
+        encode_guard(e, &self.rd_guard);
+        encode_guard(e, &self.wr_guard);
+        e.usize(self.w_streams.len());
+        for h in self.w_streams.iter(wstreams) {
+            let ws = &wstreams[h];
+            e.u16(ws.beats_left);
+            e.u32(ws.bytes_left);
+            e.u64(ws.txn);
+        }
+        e.u16(self.next_id);
+        e.u64(self.txn_serial);
+        e.u64(self.issue_allowed_at);
+        e.usize(self.finished.len());
+        for &id in &self.finished {
+            e.u64(id);
+        }
+        self.latency.encode(e);
+        e.u64(self.transfers_completed);
+    }
+
+    /// Restores the state written by [`encode_state`](Self::encode_state)
+    /// into this (freshly built) engine, re-allocating every record in the
+    /// caller's arenas. Counters are cross-checked against the structures
+    /// that must agree with them (guards, the active transfer's pending
+    /// responses), so a crafted snapshot cannot underflow them later.
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut Decoder<'_>,
+        txns: &mut Slab<InflightTransfer>,
+        wstreams: &mut Slab<WStream>,
+        nodes: usize,
+    ) -> Result<(), SnapError> {
+        let n = d.count("queued DMA transfers")?;
+        for _ in 0..n {
+            let rec = decode_inflight(d, nodes)?;
+            let h = txns.alloc(rec);
+            self.queue.push_back(txns, h);
+        }
+        self.active = d.option(|d| Ok(txns.alloc(decode_inflight(d, nodes)?)))?;
+        self.outstanding_rd = d.u32()?;
+        self.outstanding_wr = d.u32()?;
+        self.rd_guard = decode_guard(d)?;
+        self.wr_guard = decode_guard(d)?;
+        if guard_inflight(&self.rd_guard) != u64::from(self.outstanding_rd)
+            || guard_inflight(&self.wr_guard) != u64::from(self.outstanding_wr)
+        {
+            return Err(corrupt("DMA outstanding counters disagree with guards"));
+        }
+        let s = d.count("DMA write streams")?;
+        for _ in 0..s {
+            let ws = WStream {
+                beats_left: d.u16()?,
+                bytes_left: d.u32()?,
+                txn: d.u64()?,
+            };
+            if ws.beats_left == 0 {
+                return Err(corrupt("write stream with zero beats left"));
+            }
+            let h = wstreams.alloc(ws);
+            self.w_streams.push_back(wstreams, h);
+        }
+        match self.active {
+            Some(h) => {
+                let expected = u64::from(self.outstanding_rd) + u64::from(self.outstanding_wr);
+                if u64::from(txns[h].resp_pending) != expected {
+                    return Err(corrupt("active transfer disagrees with outstanding counts"));
+                }
+            }
+            None => {
+                if self.outstanding_rd != 0
+                    || self.outstanding_wr != 0
+                    || !self.w_streams.is_empty()
+                {
+                    return Err(corrupt("in-flight traffic without an active transfer"));
+                }
+            }
+        }
+        self.next_id = d.u16()?;
+        self.txn_serial = d.u64()?;
+        self.issue_allowed_at = d.u64()?;
+        let f = d.count("finished transfer ids")?;
+        self.finished.clear();
+        for _ in 0..f {
+            self.finished.push(d.u64()?);
+        }
+        self.latency = Histogram::decode(d)?;
+        self.transfers_completed = d.u64()?;
+        Ok(())
+    }
+}
+
+fn encode_inflight(e: &mut Encoder, t: &InflightTransfer) {
+    let tr = &t.resolved.transfer;
+    e.u64(tr.id);
+    e.usize(tr.dst);
+    e.u64(tr.offset);
+    e.u64(tr.bytes);
+    match tr.kind {
+        TransferKind::Read => e.byte(0),
+        TransferKind::Write => e.byte(1),
+        TransferKind::Copy { src, src_offset } => {
+            e.byte(2);
+            e.usize(src);
+            e.u64(src_offset);
+        }
+    }
+    e.u64(t.resolved.addr);
+    e.option(t.resolved.src_addr.as_ref(), |e, a| e.u64(*a));
+    e.u64(t.issued_at);
+    for c in [&t.read_bursts, &t.write_bursts] {
+        let (cur, remaining, beat_bytes) = c.parts();
+        e.u64(cur);
+        e.u64(remaining);
+        e.u64(beat_bytes);
+    }
+    e.option(t.buffer_bytes.as_ref(), |e, b| e.u64(*b));
+    e.usize(t.read_dst);
+    e.u32(t.resp_pending);
+}
+
+fn decode_inflight(d: &mut Decoder<'_>, nodes: usize) -> Result<InflightTransfer, SnapError> {
+    let id = d.u64()?;
+    let dst = d.usize()?;
+    let offset = d.u64()?;
+    let bytes = d.u64()?;
+    let kind = match d.byte()? {
+        0 => TransferKind::Read,
+        1 => TransferKind::Write,
+        2 => {
+            let src = d.usize()?;
+            if src >= nodes {
+                return Err(corrupt("copy source out of range"));
+            }
+            TransferKind::Copy {
+                src,
+                src_offset: d.u64()?,
+            }
+        }
+        _ => return Err(corrupt("unknown transfer kind")),
+    };
+    if dst >= nodes {
+        return Err(corrupt("transfer destination out of range"));
+    }
+    let addr = d.u64()?;
+    let src_addr = d.option(|d| d.u64())?;
+    if matches!(kind, TransferKind::Copy { .. }) && src_addr.is_none() {
+        return Err(corrupt("copy transfer without a source address"));
+    }
+    let issued_at = d.u64()?;
+    let mut cursors = [SplitCursor::empty(); 2];
+    for c in &mut cursors {
+        let (cur, remaining, beat_bytes) = (d.u64()?, d.u64()?, d.u64()?);
+        *c = SplitCursor::from_parts(cur, remaining, beat_bytes).map_err(corrupt)?;
+    }
+    let buffer_bytes = d.option(|d| d.u64())?;
+    let read_dst = d.usize()?;
+    if read_dst >= nodes {
+        return Err(corrupt("read leg destination out of range"));
+    }
+    let resp_pending = d.u32()?;
+    Ok(InflightTransfer {
+        resolved: ResolvedTransfer {
+            transfer: Transfer {
+                id,
+                dst,
+                offset,
+                bytes,
+                kind,
+            },
+            addr,
+            src_addr,
+        },
+        issued_at,
+        read_bursts: cursors[0],
+        write_bursts: cursors[1],
+        buffer_bytes,
+        read_dst,
+        resp_pending,
+    })
 }
 
 #[derive(Debug, Clone)]
@@ -545,6 +746,88 @@ impl MemorySlave {
         }
         !self.is_idle()
     }
+
+    /// Serializes the memory's dynamic state (transaction queues, streaming
+    /// read, counters). Geometry (`node`, `link`, `latency`, `cap`) comes
+    /// from configuration and is not serialized.
+    pub(crate) fn encode_state(&self, e: &mut Encoder) {
+        e.u32(self.outstanding_rd);
+        e.u32(self.outstanding_wr);
+        e.usize(self.pending_w.len());
+        for job in &self.pending_w {
+            e.u16(job.id.0);
+            e.u64(job.txn);
+        }
+        e.usize(self.b_queue.len());
+        for (ready, beat) in &self.b_queue {
+            e.u64(*ready);
+            encode_resp(e, beat);
+        }
+        e.usize(self.read_q.len());
+        for job in &self.read_q {
+            encode_read_job(e, job);
+        }
+        e.option(self.r_stream.as_ref(), encode_read_job);
+        e.u64(self.write_bytes);
+    }
+
+    /// Restores the state written by [`encode_state`](Self::encode_state),
+    /// cross-checking the outstanding counters against the queues they
+    /// summarize so a crafted snapshot cannot underflow them later.
+    pub(crate) fn restore_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapError> {
+        self.outstanding_rd = d.u32()?;
+        self.outstanding_wr = d.u32()?;
+        if self.outstanding_rd > self.cap || self.outstanding_wr > self.cap {
+            return Err(corrupt("memory outstanding counter exceeds its cap"));
+        }
+        let n = d.count("pending write jobs")?;
+        for _ in 0..n {
+            self.pending_w.push_back(WriteJob {
+                id: AxiId(d.u16()?),
+                txn: d.u64()?,
+            });
+        }
+        let n = d.count("write response queue")?;
+        for _ in 0..n {
+            self.b_queue.push_back((d.u64()?, decode_resp(d)?));
+        }
+        let n = d.count("read queue")?;
+        for _ in 0..n {
+            self.read_q.push_back(decode_read_job(d)?);
+        }
+        self.r_stream = d.option(decode_read_job)?;
+        if usize::try_from(self.outstanding_wr) != Ok(self.pending_w.len() + self.b_queue.len()) {
+            return Err(corrupt("memory write-outstanding counter mismatch"));
+        }
+        let reads = self.read_q.len() + usize::from(self.r_stream.is_some());
+        if usize::try_from(self.outstanding_rd) != Ok(reads) {
+            return Err(corrupt("memory read-outstanding counter mismatch"));
+        }
+        self.write_bytes = d.u64()?;
+        Ok(())
+    }
+}
+
+fn encode_read_job(e: &mut Encoder, j: &ReadJob) {
+    e.u64(j.ready_at);
+    e.u16(j.id.0);
+    e.u16(j.beats);
+    e.u32(j.bytes);
+    e.u64(j.txn);
+}
+
+fn decode_read_job(d: &mut Decoder<'_>) -> Result<ReadJob, SnapError> {
+    let job = ReadJob {
+        ready_at: d.u64()?,
+        id: AxiId(d.u16()?),
+        beats: d.u16()?,
+        bytes: d.u32()?,
+        txn: d.u64()?,
+    };
+    if job.beats == 0 {
+        return Err(corrupt("read job with zero beats"));
+    }
+    Ok(job)
 }
 
 #[cfg(test)]

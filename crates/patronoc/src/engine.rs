@@ -24,8 +24,9 @@
 use crate::config::NocConfig;
 use crate::endpoint::{DmaEngine, InflightTransfer, MemorySlave, ResolvedTransfer, WStream};
 use crate::link::AxiLink;
-use crate::routing::connectivity_tables;
+use crate::routing::{connectivity_tables, Connectivity, RoutingAlgorithm};
 use crate::shard::{self, ShardLinkView, Sharding};
+use crate::snapcodec::corrupt;
 use crate::topology::{Dir, Topology, LOCAL, PORTS};
 use crate::xp::Xp;
 use axi::addr::Region;
@@ -34,6 +35,7 @@ use simkit::pool::{crew_scope, Crew};
 use simkit::region::{DisjointSlots, RegionMap};
 use simkit::sched::ActiveSet;
 use simkit::slab::SlabStats;
+use simkit::snap::{DecodeLimits, Decoder, Encoder, SnapError};
 use simkit::{Cycle, Histogram, ProgressWatchdog, SimReport, Slab, StopReason, ThroughputMeter};
 use traffic::TrafficSource;
 
@@ -942,7 +944,306 @@ impl NocSim {
             slab_high_water: slab.high_water,
             allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
             threads: self.cfg.threads,
+            state_digest: self.state_digest(),
         }
+    }
+}
+
+/// Checkpointing: compact binary snapshots of the complete deterministic
+/// simulation state (see `simkit::snap` for the container format). A
+/// snapshot captures everything the cycle loop evolves — link FIFOs, XP
+/// arbitration, endpoint queues, arena-resident transfer records, meter,
+/// scheduler — and **excludes** wall-clock telemetry (`wall_cycles`,
+/// `wall_secs`), which restarts at zero on restore. `snapshot` → `restore`
+/// → `run` is bit-identical to running straight through, which is what
+/// lets `bench::sweep` fork many measurement runs off one warm-up.
+impl NocSim {
+    /// This engine's discriminant in the snapshot header.
+    pub const SNAP_KIND: u8 = 1;
+
+    /// Configuration fingerprint carried in the snapshot header: FNV-1a 64
+    /// over the canonical encoding of every behaviour-affecting
+    /// configuration field. The stepping-strategy knobs —
+    /// [`NocConfig::threads`], [`NocConfig::full_sweep`] and the saturate
+    /// thresholds — are deliberately **excluded**: every stepping strategy
+    /// evolves bit-identical state (pinned by the equivalence tests), so a
+    /// snapshot is portable across all of them and the state digest never
+    /// depends on how the state was stepped.
+    #[must_use]
+    pub fn shape(&self) -> u64 {
+        let cfg = &self.cfg;
+        let mut e = Encoder::new(0, 0);
+        e.u32(cfg.axi.addr_width());
+        e.u32(cfg.axi.data_width());
+        e.u32(cfg.axi.id_width());
+        e.u32(cfg.axi.max_outstanding());
+        match cfg.topology {
+            Topology::Mesh { cols, rows } => {
+                e.byte(0);
+                e.usize(cols);
+                e.usize(rows);
+            }
+            Topology::Torus { cols, rows } => {
+                e.byte(1);
+                e.usize(cols);
+                e.usize(rows);
+            }
+            Topology::Ring { nodes } => {
+                e.byte(2);
+                e.usize(nodes);
+            }
+        }
+        e.byte(match cfg.algorithm {
+            RoutingAlgorithm::YxDimensionOrder => 0,
+            RoutingAlgorithm::XyDimensionOrder => 1,
+        });
+        e.byte(match cfg.connectivity {
+            Connectivity::Partial => 0,
+            Connectivity::Full => 1,
+        });
+        e.usize(cfg.link_stages);
+        e.u32(cfg.mem_latency);
+        e.u32(cfg.slave_outstanding);
+        e.u32(cfg.dma_setup_cycles);
+        e.usize(cfg.dma_queue_cap);
+        e.u64(cfg.region_size);
+        e.usize(cfg.masters.len());
+        for &m in &cfg.masters {
+            e.usize(m);
+        }
+        e.usize(cfg.slaves.len());
+        for &s in &cfg.slaves {
+            e.usize(s);
+        }
+        e.digest()
+    }
+
+    /// Serializes the complete deterministic state as a self-validating
+    /// byte string. Restoring it (on an engine built from an equivalent
+    /// configuration) and continuing reproduces a straight run bit for
+    /// bit.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new(Self::SNAP_KIND, self.shape());
+        self.encode_state(&mut e, true);
+        e.finish()
+    }
+
+    /// FNV-1a 64 digest of the canonical *comparable* state: simulation
+    /// time plus every link, XP and endpoint. Excluded on purpose — the
+    /// meter (its warm-up split differs between a straight run and a
+    /// warm-started fork measuring the same window), the scheduler and
+    /// slab telemetry (both differ between serial and sharded stepping
+    /// while the simulated hardware state does not), and the stop reason.
+    /// Equal digests ⇔ equal hardware state, which is what the
+    /// serial-vs-sharded and straight-vs-fork equivalence tests assert.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut e = Encoder::new(Self::SNAP_KIND, self.shape());
+        self.encode_state(&mut e, false);
+        e.digest()
+    }
+
+    /// Writes the engine state into `e`. `full` includes the run-control
+    /// state a restore needs (stop reason, meter, scheduler, slab
+    /// telemetry); the digest path omits it (see
+    /// [`state_digest`](Self::state_digest)).
+    fn encode_state(&self, e: &mut Encoder, full: bool) {
+        e.section(1, |e| {
+            e.u64(self.now);
+            if full {
+                e.byte(match self.stop_reason {
+                    StopReason::Budget => 0,
+                    StopReason::Drained => 1,
+                    StopReason::WindowComplete => 2,
+                });
+            }
+        });
+        if full {
+            e.section(2, |e| self.meter.encode(e));
+        }
+        e.section(3, |e| {
+            for l in &self.links {
+                l.encode(e);
+            }
+        });
+        e.section(4, |e| {
+            for x in &self.xps {
+                x.encode_state(e);
+            }
+        });
+        e.section(5, |e| {
+            for (di, d) in self.dmas.iter().enumerate() {
+                let region = self.dma_region[di] as usize;
+                d.encode_state(e, &self.txns[region], &self.wstreams[region]);
+            }
+        });
+        e.section(6, |e| {
+            for m in &self.mems {
+                m.encode_state(e);
+            }
+        });
+        if full {
+            e.section(7, |e| {
+                e.bool(self.sched.saturated);
+                e.u64(self.sched.work_items);
+                for set in [
+                    &self.sched.hot_links,
+                    &self.sched.dmas,
+                    &self.sched.mems,
+                    &self.sched.xps,
+                ] {
+                    let idx = set.indices();
+                    e.usize(idx.len());
+                    for i in idx {
+                        e.usize(i);
+                    }
+                }
+            });
+            e.section(8, |e| {
+                let fold = |acc: SlabStats, s: SlabStats| acc.merge(s);
+                let t = self
+                    .txns
+                    .iter()
+                    .map(Slab::stats)
+                    .fold(SlabStats::default(), fold);
+                let w = self
+                    .wstreams
+                    .iter()
+                    .map(Slab::stats)
+                    .fold(SlabStats::default(), fold);
+                e.u64(t.allocs);
+                e.u64(t.high_water);
+                e.u64(w.allocs);
+                e.u64(w.high_water);
+            });
+        }
+    }
+
+    /// Replaces this engine's state with the snapshot's, **all or
+    /// nothing**: the bytes are validated (container digest first, then
+    /// every structural invariant) while rebuilding into a fresh engine,
+    /// and only a fully successful decode is committed — on any error the
+    /// current state is left untouched.
+    ///
+    /// The snapshot must come from an engine whose configuration matches
+    /// this one's [`shape`](Self::shape); thread count may differ.
+    ///
+    /// # Errors
+    ///
+    /// A [`SnapError`] naming the first violated container or engine
+    /// invariant.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut fresh = Self::new(self.cfg.clone()).expect("config was validated at construction");
+        fresh.decode_from(bytes)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Decodes `bytes` into this (freshly built) engine. Every index and
+    /// counter is validated against the engine's actual geometry before
+    /// use, so crafted (digest-valid) bytes are rejected instead of
+    /// panicking later in the cycle loop.
+    fn decode_from(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut d = Decoder::new(
+            bytes,
+            Self::SNAP_KIND,
+            self.shape(),
+            DecodeLimits::default(),
+        )?;
+        let nodes = self.cfg.topology.num_nodes();
+        let end = d.begin_section(1)?;
+        self.now = d.u64()?;
+        self.stop_reason = match d.byte()? {
+            0 => StopReason::Budget,
+            1 => StopReason::Drained,
+            2 => StopReason::WindowComplete,
+            _ => return Err(corrupt("unknown stop reason")),
+        };
+        d.end_section(end)?;
+        let end = d.begin_section(2)?;
+        self.meter = ThroughputMeter::decode(&mut d)?;
+        d.end_section(end)?;
+        let end = d.begin_section(3)?;
+        for l in &mut self.links {
+            *l = AxiLink::decode(&mut d, self.cfg.link_stages, nodes)?;
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(4)?;
+        for x in &mut self.xps {
+            x.restore_state(&mut d)?;
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(5)?;
+        for di in 0..self.dmas.len() {
+            let region = self.dma_region[di] as usize;
+            self.dmas[di].restore_state(
+                &mut d,
+                &mut self.txns[region],
+                &mut self.wstreams[region],
+                nodes,
+            )?;
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(6)?;
+        for m in &mut self.mems {
+            m.restore_state(&mut d)?;
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(7)?;
+        self.sched.saturated = d.bool()?;
+        self.sched.work_items = d.u64()?;
+        // The fresh engine's scheduler holds everything (the cycle-0 full
+        // sweep); replace that wholesale with the captured membership.
+        {
+            let sets = [
+                &mut self.sched.hot_links,
+                &mut self.sched.dmas,
+                &mut self.sched.mems,
+                &mut self.sched.xps,
+            ];
+            for set in sets {
+                set.clear();
+                let n = d.count("active-set members")?;
+                for _ in 0..n {
+                    let i = d.usize()?;
+                    if i >= set.capacity() {
+                        return Err(corrupt("active-set index out of range"));
+                    }
+                    set.insert(i);
+                }
+            }
+        }
+        d.end_section(end)?;
+        let end = d.begin_section(8)?;
+        let (t_allocs, t_hw) = (d.u64()?, d.u64()?);
+        let (w_allocs, w_hw) = (d.u64()?, d.u64()?);
+        d.end_section(end)?;
+        d.finish()?;
+        // Telemetry continuation: restoring re-allocated every live record,
+        // so credit each arena family with the snapshot's history minus
+        // what rebuilding already counted (saturating: a snapshot from a
+        // differently-sharded engine may fragment differently).
+        let fold = |acc: SlabStats, s: SlabStats| acc.merge(s);
+        let t = self
+            .txns
+            .iter()
+            .map(Slab::stats)
+            .fold(SlabStats::default(), fold);
+        let w = self
+            .wstreams
+            .iter()
+            .map(Slab::stats)
+            .fold(SlabStats::default(), fold);
+        self.txns[0].absorb_stats(
+            t_allocs.saturating_sub(t.allocs),
+            t_hw.saturating_sub(t.high_water),
+        );
+        self.wstreams[0].absorb_stats(
+            w_allocs.saturating_sub(w.allocs),
+            w_hw.saturating_sub(w.high_water),
+        );
+        Ok(())
     }
 }
 
@@ -1489,6 +1790,101 @@ mod tests {
         let sim = NocSim::new(cfg).unwrap();
         let src = OneEach::new(16, 256, TransferKind::Write, |_| 5);
         (sim, src)
+    }
+
+    fn poisson(seed: u64) -> traffic::UniformRandom {
+        traffic::UniformRandom::new_copies(traffic::UniformConfig {
+            masters: 16,
+            slaves: (0..16).collect(),
+            load: 0.6,
+            bytes_per_cycle: 4.0,
+            max_transfer: 1000,
+            read_fraction: 0.5,
+            region_size: 1 << 24,
+            seed,
+        })
+    }
+
+    #[test]
+    fn snapshot_restore_run_is_bit_identical() {
+        let mut sim = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut src = poisson(0x5EED);
+        sim.run(&mut src, 3_000, 0);
+        let bytes = sim.snapshot();
+        let mut forked_src = src.clone();
+        let straight = sim.run(&mut src, 2_000, 0);
+
+        let mut forked = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        forked.restore(&bytes).unwrap();
+        assert_eq!(forked.now(), 3_000);
+        let fork = forked.run(&mut forked_src, 2_000, 0);
+        assert_eq!(straight, fork);
+        assert_eq!(sim.state_digest(), forked.state_digest());
+    }
+
+    #[test]
+    fn snapshot_is_portable_across_thread_counts() {
+        // Capture mid-flight on a serial engine, restore into a 4-thread
+        // one (and vice versa): the continuations stay bit-identical.
+        let mut cfg4 = NocConfig::slim_4x4();
+        cfg4.threads = 4;
+        let mut serial = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut src = poisson(0xF0CA);
+        serial.run(&mut src, 3_000, 0);
+        let bytes = serial.snapshot();
+
+        let mut sharded = NocSim::new(cfg4).unwrap();
+        sharded.restore(&bytes).unwrap();
+        let mut sharded_src = src.clone();
+        let sr = serial.run(&mut src, 2_000, 0);
+        let tr = sharded.run(&mut sharded_src, 2_000, 0);
+        assert_eq!(sr, tr);
+    }
+
+    #[test]
+    fn snapshot_of_restored_engine_is_byte_identical() {
+        let mut sim = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut src = poisson(7);
+        sim.run(&mut src, 2_500, 500);
+        let bytes = sim.snapshot();
+        let mut again = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        again.restore(&bytes).unwrap();
+        assert_eq!(bytes, again.snapshot(), "encode ∘ decode is a fixpoint");
+    }
+
+    #[test]
+    fn corrupt_snapshot_leaves_the_engine_untouched() {
+        let mut sim = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut src = poisson(11);
+        sim.run(&mut src, 2_000, 0);
+        let mut bytes = sim.snapshot();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+
+        let mut target = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut probe = poisson(12);
+        target.run(&mut probe, 1_000, 0);
+        let before = target.state_digest();
+        assert!(target.restore(&bytes).is_err());
+        assert_eq!(
+            target.state_digest(),
+            before,
+            "failed restore mutated state"
+        );
+        assert_eq!(target.now(), 1_000);
+    }
+
+    #[test]
+    fn snapshot_rejects_a_different_shape() {
+        let mut sim = NocSim::new(NocConfig::slim_4x4()).unwrap();
+        let mut src = poisson(13);
+        sim.run(&mut src, 500, 0);
+        let bytes = sim.snapshot();
+        let mut wide = NocSim::new(NocConfig::wide_4x4()).unwrap();
+        assert!(matches!(
+            wide.restore(&bytes),
+            Err(simkit::snap::SnapError::ShapeMismatch)
+        ));
     }
 
     #[test]

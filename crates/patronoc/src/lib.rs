@@ -57,6 +57,7 @@ pub mod engine;
 pub mod link;
 pub mod routing;
 pub(crate) mod shard;
+pub(crate) mod snapcodec;
 pub mod topology;
 pub mod xp;
 

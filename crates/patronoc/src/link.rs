@@ -170,6 +170,34 @@ impl<T> Channel<T> {
     pub fn is_idle(&self) -> bool {
         self.stages.iter().all(Fifo::is_idle)
     }
+
+    /// Serializes every stage (producer end first) into a snapshot,
+    /// including the two-phase cycle counters — a mid-cycle channel
+    /// restores to exactly the same push/pop affordances.
+    pub(crate) fn encode_with(
+        &self,
+        e: &mut simkit::snap::Encoder,
+        mut f: impl FnMut(&mut simkit::snap::Encoder, &T),
+    ) {
+        for s in &self.stages {
+            s.encode_with(e, &mut f);
+        }
+    }
+
+    /// Decodes a channel written by [`encode_with`](Self::encode_with)
+    /// with the target wiring's stage count (pinned by the snapshot shape
+    /// fingerprint, revalidated per stage by the depth-2 capacity check).
+    pub(crate) fn decode_with(
+        d: &mut simkit::snap::Decoder<'_>,
+        stages: usize,
+        mut f: impl FnMut(&mut simkit::snap::Decoder<'_>) -> Result<T, simkit::snap::SnapError>,
+    ) -> Result<Self, simkit::snap::SnapError> {
+        debug_assert!(stages >= 1, "channels always have a register stage");
+        let stages = (0..stages)
+            .map(|_| Fifo::decode_with(d, 2, &mut f))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { stages })
+    }
 }
 
 /// One AXI interface: AW/W/AR forward, B/R backward.
@@ -236,6 +264,34 @@ impl AxiLink {
             && self.ar.is_idle()
             && self.b.is_idle()
             && self.r.is_idle()
+    }
+
+    /// Serializes all five channels (AW, W, AR, B, R — fixed order) into a
+    /// snapshot.
+    pub(crate) fn encode(&self, e: &mut simkit::snap::Encoder) {
+        use crate::snapcodec::{encode_data, encode_req, encode_resp};
+        self.aw.encode_with(e, encode_req);
+        self.w.encode_with(e, encode_data);
+        self.ar.encode_with(e, encode_req);
+        self.b.encode_with(e, encode_resp);
+        self.r.encode_with(e, encode_resp);
+    }
+
+    /// Decodes a link written by [`encode`](Self::encode), validating every
+    /// beat against the target topology (`nodes` endpoints).
+    pub(crate) fn decode(
+        d: &mut simkit::snap::Decoder<'_>,
+        stages: usize,
+        nodes: usize,
+    ) -> Result<Self, simkit::snap::SnapError> {
+        use crate::snapcodec::{decode_data, decode_req, decode_resp};
+        Ok(Self {
+            aw: Channel::decode_with(d, stages, |d| decode_req(d, nodes))?,
+            w: Channel::decode_with(d, stages, decode_data)?,
+            ar: Channel::decode_with(d, stages, |d| decode_req(d, nodes))?,
+            b: Channel::decode_with(d, stages, decode_resp)?,
+            r: Channel::decode_with(d, stages, decode_resp)?,
+        })
     }
 }
 

@@ -1,0 +1,156 @@
+//! Shared snapshot codecs for the AXI-native engine.
+//!
+//! Field-level encode/decode helpers used by the per-component snapshot
+//! methods ([`crate::link`], [`crate::xp`], [`crate::endpoint`]) and
+//! assembled into whole-engine snapshots by [`crate::engine`]. Everything
+//! here follows the `simkit::snap` contract: decoding validates every
+//! structural invariant before constructing a value, so a corrupt (but
+//! digest-valid) snapshot is rejected instead of panicking later inside
+//! the cycle loop.
+
+use crate::link::{DataBeat, ReqBeat, RespBeat};
+use crate::topology::PORTS;
+use axi::id::{IdRemapper, OrderingGuard, SourceKey};
+use axi::AxiId;
+use simkit::snap::{Decoder, Encoder, SnapError};
+
+/// Maps a component's `&'static str` invariant violation into the snapshot
+/// error space.
+pub(crate) fn corrupt(msg: &'static str) -> SnapError {
+    SnapError::Corrupt(msg)
+}
+
+pub(crate) fn encode_req(e: &mut Encoder, b: &ReqBeat) {
+    e.u16(b.id.0);
+    e.usize(b.dst);
+    e.usize(b.src);
+    e.u16(b.beats);
+    e.u32(b.bytes);
+    e.u64(b.txn);
+    e.u64(b.issued_at);
+}
+
+pub(crate) fn decode_req(d: &mut Decoder<'_>, nodes: usize) -> Result<ReqBeat, SnapError> {
+    let beat = ReqBeat {
+        id: AxiId(d.u16()?),
+        dst: d.usize()?,
+        src: d.usize()?,
+        beats: d.u16()?,
+        bytes: d.u32()?,
+        txn: d.u64()?,
+        issued_at: d.u64()?,
+    };
+    if beat.dst >= nodes || beat.src >= nodes {
+        return Err(corrupt("request beat endpoint out of range"));
+    }
+    if beat.beats == 0 {
+        return Err(corrupt("request beat with zero data beats"));
+    }
+    Ok(beat)
+}
+
+pub(crate) fn encode_data(e: &mut Encoder, b: &DataBeat) {
+    e.u32(b.bytes);
+    e.bool(b.last);
+    e.u64(b.txn);
+}
+
+pub(crate) fn decode_data(d: &mut Decoder<'_>) -> Result<DataBeat, SnapError> {
+    Ok(DataBeat {
+        bytes: d.u32()?,
+        last: d.bool()?,
+        txn: d.u64()?,
+    })
+}
+
+pub(crate) fn encode_resp(e: &mut Encoder, b: &RespBeat) {
+    e.u16(b.id.0);
+    e.u32(b.bytes);
+    e.bool(b.last);
+    e.u64(b.txn);
+}
+
+pub(crate) fn decode_resp(d: &mut Decoder<'_>) -> Result<RespBeat, SnapError> {
+    Ok(RespBeat {
+        id: AxiId(d.u16()?),
+        bytes: d.u32()?,
+        last: d.bool()?,
+        txn: d.u64()?,
+    })
+}
+
+/// Serializes an [`OrderingGuard`]'s in-flight entries (ascending-ID order,
+/// as [`OrderingGuard::entries`] yields them — canonical, so equal guard
+/// states encode to equal bytes).
+pub(crate) fn encode_guard(e: &mut Encoder, g: &OrderingGuard) {
+    let entries = g.entries();
+    e.usize(entries.len());
+    for (id, dst, count) in entries {
+        e.u16(id.0);
+        e.usize(dst);
+        e.u32(count);
+    }
+}
+
+pub(crate) fn decode_guard(d: &mut Decoder<'_>) -> Result<OrderingGuard, SnapError> {
+    let n = d.count("ordering guard entries")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push((AxiId(d.u16()?), d.usize()?, d.u32()?));
+    }
+    OrderingGuard::from_entries(&entries).map_err(corrupt)
+}
+
+/// Total in-flight transactions a guard tracks — cross-checked against the
+/// owner's outstanding counters on restore.
+pub(crate) fn guard_inflight(g: &OrderingGuard) -> u64 {
+    g.entries().iter().map(|&(_, _, c)| u64::from(c)).sum()
+}
+
+/// Serializes an [`IdRemapper`]: the slot table in index order plus the
+/// free list **verbatim** (its LIFO order decides future ID assignment, so
+/// it is behavioral state).
+pub(crate) fn encode_remapper(e: &mut Encoder, r: &IdRemapper) {
+    let (slots, free) = r.export();
+    e.usize(slots.len());
+    for slot in &slots {
+        e.option(slot.as_ref(), |e, (key, inflight)| {
+            e.byte(key.port);
+            e.u16(key.id.0);
+            e.u32(*inflight);
+        });
+    }
+    e.usize(free.len());
+    for idx in free {
+        e.u16(idx);
+    }
+}
+
+pub(crate) fn decode_remapper(
+    d: &mut Decoder<'_>,
+    expected_capacity: usize,
+) -> Result<IdRemapper, SnapError> {
+    let n = d.count("remapper slots")?;
+    if n != expected_capacity {
+        return Err(corrupt("remapper capacity mismatch"));
+    }
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slot = d.option(|d| {
+            let port = d.byte()?;
+            if usize::from(port) >= PORTS {
+                return Err(corrupt("remapper source port out of range"));
+            }
+            let id = AxiId(d.u16()?);
+            let inflight = d.u32()?;
+            Ok((SourceKey { port, id }, inflight))
+        })?;
+        slots.push(slot);
+    }
+    let f = d.count("remapper free list")?;
+    let mut free = Vec::with_capacity(f);
+    for _ in 0..f {
+        free.push(d.u16()?);
+    }
+    IdRemapper::from_parts(slots, free).map_err(corrupt)
+}

@@ -52,6 +52,38 @@ impl PortFifo {
         }
     }
 
+    /// Serializes the queue canonically (logical order from the head, so
+    /// equal queues encode identically regardless of ring rotation).
+    fn encode(&self, e: &mut simkit::snap::Encoder) {
+        e.byte(self.len);
+        for k in 0..usize::from(self.len) {
+            e.byte(self.slots[(usize::from(self.head) + k) % PORTS]);
+        }
+    }
+
+    /// Decodes a queue written by [`encode`](Self::encode); entries must be
+    /// valid port indices and the queue must fit its fixed capacity.
+    fn decode(d: &mut simkit::snap::Decoder<'_>) -> Result<Self, simkit::snap::SnapError> {
+        use crate::snapcodec::corrupt;
+        let len = d.byte()?;
+        if usize::from(len) > PORTS {
+            return Err(corrupt("port fifo overfull"));
+        }
+        let mut slots = [0u8; PORTS];
+        for slot in slots.iter_mut().take(usize::from(len)) {
+            let p = d.byte()?;
+            if usize::from(p) >= PORTS {
+                return Err(corrupt("port fifo entry out of range"));
+            }
+            *slot = p;
+        }
+        Ok(Self {
+            slots,
+            head: 0,
+            len,
+        })
+    }
+
     fn push_back(&mut self, port: usize) {
         debug_assert!((self.len as usize) < PORTS, "port fifo overflow");
         let tail = (self.head as usize + self.len as usize) % PORTS;
@@ -440,6 +472,106 @@ impl Xp {
             moved = true;
         }
         moved
+    }
+
+    /// Serializes the XP's dynamic state (arbitration cursors, W-grant
+    /// bookkeeping, remap tables, ordering guards, R lock, beat counters).
+    /// Static wiring (routing table, connectivity, link indices) is derived
+    /// from configuration and not serialized.
+    pub(crate) fn encode_state(&self, e: &mut simkit::snap::Encoder) {
+        use crate::snapcodec::{encode_guard, encode_remapper};
+        for arbs in [&self.aw_arb, &self.ar_arb, &self.b_arb, &self.r_arb] {
+            for arb in arbs {
+                e.usize(arb.cursor());
+            }
+        }
+        for pf in &self.w_order {
+            pf.encode(e);
+        }
+        for r in &self.w_route {
+            e.option(r.as_ref(), |e, o| e.usize(*o));
+        }
+        for rm in self.wr_remap.iter().chain(&self.rd_remap) {
+            encode_remapper(e, rm);
+        }
+        for g in self.aw_guard.iter().chain(&self.ar_guard) {
+            encode_guard(e, g);
+        }
+        for l in &self.r_lock {
+            e.option(l.as_ref(), |e, o| e.usize(*o));
+        }
+        for beats in [&self.w_beats, &self.r_beats] {
+            for &b in beats {
+                e.u64(b);
+            }
+        }
+    }
+
+    /// Restores the dynamic state written by
+    /// [`encode_state`](Self::encode_state) into this (freshly built) XP,
+    /// validating every index against the XP's actual wiring so a crafted
+    /// snapshot cannot make a later [`step`](Self::step) panic.
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut simkit::snap::Decoder<'_>,
+    ) -> Result<(), simkit::snap::SnapError> {
+        use crate::snapcodec::{corrupt, decode_guard, decode_remapper};
+        for arbs in [
+            &mut self.aw_arb,
+            &mut self.ar_arb,
+            &mut self.b_arb,
+            &mut self.r_arb,
+        ] {
+            for arb in arbs {
+                arb.set_cursor(d.usize()?).map_err(corrupt)?;
+            }
+        }
+        for o in 0..PORTS {
+            let pf = PortFifo::decode(d)?;
+            // Every granted input must actually be wired, or the W stage
+            // would panic resolving its in-link.
+            for k in 0..usize::from(pf.len) {
+                if self.in_links[usize::from(pf.slots[k])].is_none() {
+                    return Err(corrupt("w_order references an unwired input"));
+                }
+            }
+            self.w_order[o] = pf;
+        }
+        for i in 0..PORTS {
+            self.w_route[i] = d.option(|d| {
+                let o = d.usize()?;
+                if o >= PORTS || self.out_links[o].is_none() {
+                    return Err(corrupt("w_route references an unwired output"));
+                }
+                Ok(o)
+            })?;
+        }
+        let capacity = self.wr_remap[0].capacity();
+        for table in [&mut self.wr_remap, &mut self.rd_remap] {
+            for rm in table.iter_mut() {
+                *rm = decode_remapper(d, capacity)?;
+            }
+        }
+        for guards in [&mut self.aw_guard, &mut self.ar_guard] {
+            for g in guards.iter_mut() {
+                *g = decode_guard(d)?;
+            }
+        }
+        for i in 0..PORTS {
+            self.r_lock[i] = d.option(|d| {
+                let o = d.usize()?;
+                if o >= PORTS || self.out_links[o].is_none() {
+                    return Err(corrupt("r_lock references an unwired output"));
+                }
+                Ok(o)
+            })?;
+        }
+        for beats in [&mut self.w_beats, &mut self.r_beats] {
+            for b in beats.iter_mut() {
+                *b = d.u64()?;
+            }
+        }
+        Ok(())
     }
 }
 

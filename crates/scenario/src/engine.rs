@@ -7,6 +7,7 @@
 //! detection, measurement control and a unified [`SimReport`] snapshot,
 //! implemented by [`patronoc::NocSim`] and [`packetnoc::PacketNocSim`].
 
+use simkit::snap::SnapError;
 use simkit::{Cycle, SimReport};
 use traffic::TrafficSource;
 
@@ -40,6 +41,24 @@ pub trait Engine {
     /// Snapshot of the metrics at the current cycle.
     fn snapshot_report(&self) -> SimReport;
 
+    /// Serializes the engine's complete deterministic state as a
+    /// self-validating byte string (see the engines' inherent `snapshot`):
+    /// restore → run is bit-identical to running straight through.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restores a snapshot taken from an engine built with an equivalent
+    /// configuration (thread count may differ), all or nothing: on error
+    /// the current state is untouched.
+    ///
+    /// # Errors
+    ///
+    /// A [`SnapError`] naming the violated container or engine invariant.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError>;
+
+    /// FNV-1a 64 digest of the canonical comparable state — what
+    /// [`SimReport::state_digest`] reports.
+    fn state_digest(&self) -> u64;
+
     /// Run for at most `max_cycles`, measuring after `warmup`, stopping
     /// early when the source is done and the engine drained.
     fn run(
@@ -71,6 +90,18 @@ impl Engine for patronoc::NocSim {
         patronoc::NocSim::snapshot_report(self)
     }
 
+    fn snapshot(&self) -> Vec<u8> {
+        patronoc::NocSim::snapshot(self)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        patronoc::NocSim::restore(self, bytes)
+    }
+
+    fn state_digest(&self) -> u64 {
+        patronoc::NocSim::state_digest(self)
+    }
+
     fn run(
         &mut self,
         source: &mut dyn TrafficSource,
@@ -100,6 +131,18 @@ impl Engine for packetnoc::PacketNocSim {
 
     fn snapshot_report(&self) -> SimReport {
         packetnoc::PacketNocSim::snapshot_report(self)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        packetnoc::PacketNocSim::snapshot(self)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        packetnoc::PacketNocSim::restore(self, bytes)
+    }
+
+    fn state_digest(&self) -> u64 {
+        packetnoc::PacketNocSim::state_digest(self)
     }
 
     fn run(

@@ -52,6 +52,27 @@ impl RoundRobinArbiter {
         false
     }
 
+    /// The round-robin cursor (the input the next search starts at), for
+    /// checkpointing.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Restores a [`cursor`](Self::cursor) value.
+    ///
+    /// # Errors
+    ///
+    /// Rejects cursors outside `0..len()` (a corrupt snapshot) rather
+    /// than panicking later in `grant`.
+    pub fn set_cursor(&mut self, cursor: usize) -> Result<(), &'static str> {
+        if cursor >= self.n {
+            return Err("arbiter cursor out of range");
+        }
+        self.next = cursor;
+        Ok(())
+    }
+
     /// Grants the next requesting input in round-robin order, advancing the
     /// pointer past the winner. Returns `None` when nothing requests.
     pub fn grant<F: Fn(usize) -> bool>(&mut self, requesting: F) -> Option<usize> {

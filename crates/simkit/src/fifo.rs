@@ -201,6 +201,68 @@ impl<T> Fifo<T> {
         self.snap_len = 0;
         self.snap_free = 0;
     }
+
+    /// Serializes the FIFO (capacity, two-phase snapshot counters,
+    /// elements head-first) into a snapshot, encoding each element with
+    /// `f`.
+    pub fn encode_with(
+        &self,
+        e: &mut crate::snap::Encoder,
+        mut f: impl FnMut(&mut crate::snap::Encoder, &T),
+    ) {
+        e.usize(self.capacity);
+        e.usize(self.snap_len);
+        e.usize(self.snap_free);
+        e.usize(self.buf.len());
+        for item in &self.buf {
+            f(e, item);
+        }
+    }
+
+    /// Decodes a FIFO written by [`encode_with`](Self::encode_with),
+    /// validating the two-phase bounds before constructing it: the
+    /// capacity must equal `expected_capacity` (the target engine's
+    /// wiring), and the snapshot counters must be consistent with *some*
+    /// sequence of same-cycle pushes/pops since the last `begin_cycle` —
+    /// pops decrement `snap_len` and `len` together while pushes only
+    /// grow `len` (so `snap_len ≤ len`), and pushes consume `snap_free`
+    /// one-for-one with the slots they fill (so
+    /// `len + snap_free ≤ capacity`).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`](crate::snap::SnapError) on any framing or bounds
+    /// violation.
+    pub fn decode_with(
+        d: &mut crate::snap::Decoder<'_>,
+        expected_capacity: usize,
+        mut f: impl FnMut(&mut crate::snap::Decoder<'_>) -> Result<T, crate::snap::SnapError>,
+    ) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let capacity = d.usize()?;
+        if capacity != expected_capacity || capacity == 0 {
+            return Err(SnapError::Corrupt("fifo capacity mismatch"));
+        }
+        let snap_len = d.usize()?;
+        let snap_free = d.usize()?;
+        let len = d.count("fifo occupancy")?;
+        if snap_len > len {
+            return Err(SnapError::Corrupt("fifo snapshot out of bounds"));
+        }
+        if len + snap_free > capacity {
+            return Err(SnapError::Corrupt("fifo occupancy out of bounds"));
+        }
+        let mut buf = VecDeque::with_capacity(capacity);
+        for _ in 0..len {
+            buf.push_back(f(d)?);
+        }
+        Ok(Self {
+            buf,
+            capacity,
+            snap_len,
+            snap_free,
+        })
+    }
 }
 
 /// A full-throughput register slice: a depth-2 [`Fifo`].
@@ -449,6 +511,52 @@ mod tests {
         assert_eq!(f.pop(), Some(1));
         assert_eq!((f.snap_len(), f.snap_free()), (1, 1));
         assert_eq!(f.poppable().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_mid_cycle_state() {
+        use crate::snap::{DecodeLimits, Decoder, Encoder, SnapError};
+        let mut f: Fifo<u32> = Fifo::new(4);
+        f.begin_cycle();
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.begin_cycle();
+        assert_eq!(f.pop(), Some(1));
+        f.push(3).unwrap(); // mid-cycle: snap_len=1, snap_free=1, len=2
+        let mut e = Encoder::new(0, 0);
+        f.encode_with(&mut e, |e, &v| e.u32(v));
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes, 0, 0, DecodeLimits::default()).unwrap();
+        let mut g = Fifo::decode_with(&mut d, 4, |d| d.u32()).unwrap();
+        d.finish().unwrap();
+        assert_eq!((g.snap_len(), g.snap_free(), g.len()), (1, 1, 2));
+        // Bit-identical behavior from the restored state: one pop and one
+        // push remain available this cycle, exactly as in the original.
+        assert_eq!(g.pop(), Some(2));
+        g.push(4).unwrap();
+        assert!(!g.can_push());
+        g.begin_cycle();
+        assert_eq!(g.pop(), Some(3));
+        assert_eq!(g.pop(), Some(4));
+
+        // Capacity mismatch and inconsistent counters are rejected.
+        let mut d = Decoder::new(&bytes, 0, 0, DecodeLimits::default()).unwrap();
+        assert!(matches!(
+            Fifo::<u32>::decode_with(&mut d, 8, |d| d.u32()),
+            Err(SnapError::Corrupt(_))
+        ));
+        let mut e = Encoder::new(0, 0);
+        e.usize(2); // capacity
+        e.usize(2); // snap_len > len: impossible
+        e.usize(0);
+        e.usize(1);
+        e.u32(9);
+        let bad = e.finish();
+        let mut d = Decoder::new(&bad, 0, 0, DecodeLimits::default()).unwrap();
+        assert!(matches!(
+            Fifo::<u32>::decode_with(&mut d, 2, |d| d.u32()),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

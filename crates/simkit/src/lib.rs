@@ -37,6 +37,11 @@
 //!   engine returns, so comparison harnesses handle one result shape.
 //! * [`json`] — a minimal hand-rolled JSON writer for machine-readable
 //!   results and scenario serialization (no crates.io access, no serde).
+//! * [`snap`] — the versioned binary snapshot codec behind
+//!   `Engine::snapshot`/`restore` checkpointing and warm-start sweep
+//!   forking: shortest-form varints, length-prefixed sections, an FNV-1a
+//!   digest trailer verified before any parsing, and [`snap::DecodeLimits`]
+//!   bounds on untrusted bytes.
 //!
 //! ## Two-phase discipline
 //!
@@ -69,6 +74,7 @@ pub mod report;
 pub mod rng;
 pub mod sched;
 pub mod slab;
+pub mod snap;
 pub mod stats;
 pub mod watchdog;
 

@@ -59,6 +59,15 @@ pub struct SimReport {
     pub p99_latency: u64,
     /// Why the run stopped.
     pub stop_reason: StopReason,
+    /// FNV-1a digest of the engine's complete deterministic state at the
+    /// moment the report was taken (canonical snapshot encoding minus
+    /// wall-clock/meter/scheduler telemetry — see `simkit::snap`). Cheap
+    /// cross-mode divergence telemetry: serial vs region-sharded, active
+    /// vs full-sweep, and straight vs snapshot-restored runs must agree
+    /// on it, so unlike the wall-clock fields it **is** part of
+    /// `PartialEq`. A mismatch localizes divergence to the checkpoint
+    /// instead of whichever aggregate statistic happens to differ.
+    pub state_digest: u64,
     /// Simulated cycles per wall-clock second, averaged over every
     /// [`run`](crate) loop this engine executed so far — the simulator's
     /// own speed, not a property of the simulated NoC. `0.0` when the
@@ -94,6 +103,7 @@ impl PartialEq for SimReport {
             && self.mean_latency == other.mean_latency
             && self.p99_latency == other.p99_latency
             && self.stop_reason == other.stop_reason
+            && self.state_digest == other.state_digest
     }
 }
 
@@ -120,6 +130,7 @@ mod tests {
             mean_latency: 4.0,
             p99_latency: 8,
             stop_reason: StopReason::Drained,
+            state_digest: 0xD1_6E57,
             cycles_per_sec: 1.0e6,
             slab_high_water: 7,
             allocs_per_kilocycle: 0.25,
@@ -149,5 +160,13 @@ mod tests {
         let mut different = r.clone();
         different.payload_bytes = 99;
         assert_ne!(r, different);
+    }
+
+    #[test]
+    fn equality_includes_the_state_digest() {
+        let r = report();
+        let mut diverged = r.clone();
+        diverged.state_digest ^= 1;
+        assert_ne!(r, diverged, "state divergence must break equality");
     }
 }

@@ -83,6 +83,18 @@ impl<T> fmt::Debug for Handle<T> {
     }
 }
 
+impl<T> Handle<T> {
+    /// The slot index this handle points at — read-only, for building
+    /// index-keyed side tables (snapshot canonicalization maps handles to
+    /// position-independent record numbers through this). It does not
+    /// allow forging handles; the only constructor remains
+    /// [`Slab::alloc`].
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.idx as usize
+    }
+}
+
 /// Allocation telemetry of one [`Slab`] (or, via [`SlabStats::merge`],
 /// several): how much in-flight state exists now, the most that ever
 /// existed, and how many allocations were served in total.
@@ -283,6 +295,37 @@ impl<T> Slab<T> {
             .and_then(|e| e.val.as_mut())
     }
 
+    /// Iterates over the live records in ascending slot order, yielding
+    /// each record's handle alongside it. Engines never step state in
+    /// slab order (queues and component fields carry the ordering), so
+    /// this is a *serialization* aid: snapshot encoders use it to
+    /// enumerate in-flight records before canonical re-ordering.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle<T>, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.val.as_ref().map(|v| {
+                (
+                    Handle {
+                        idx: i as u32,
+                        generation: e.generation,
+                        _marker: PhantomData,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Folds the allocation telemetry of a predecessor arena into this
+    /// one: snapshot restore re-allocates the live records (which counts
+    /// them afresh), then adds the predecessor's surplus `allocs` and
+    /// `high_water` here so post-restore telemetry continues the original
+    /// run's counters instead of restarting from the restored population.
+    /// Addition matches [`SlabStats::merge`] semantics.
+    pub fn absorb_stats(&mut self, allocs: u64, high_water: u64) {
+        self.allocs += allocs;
+        self.high_water += usize::try_from(high_water).expect("high_water fits usize");
+    }
+
     /// Rebuilds a handle for the entry at `idx`, which must be live (queue
     /// internals: links store bare indices; liveness is an invariant of
     /// queue membership).
@@ -403,6 +446,20 @@ impl<T> HandleQueue<T> {
         } else {
             Some(slab.handle_at(self.head))
         }
+    }
+
+    /// Walks the queued records head-to-tail without removing them —
+    /// the read-only view snapshot encoders serialize queue order from.
+    pub fn iter<'a>(&'a self, slab: &'a Slab<T>) -> impl Iterator<Item = Handle<T>> + 'a {
+        let mut at = self.head;
+        std::iter::from_fn(move || {
+            if at == NIL {
+                return None;
+            }
+            let h = slab.handle_at(at);
+            at = slab.entries[at as usize].next;
+            Some(h)
+        })
     }
 
     /// Removes and returns the head record (still live in the slab; the
@@ -531,6 +588,50 @@ mod tests {
                 live: 2,
                 high_water: 2,
                 allocs: 3
+            }
+        );
+    }
+
+    #[test]
+    fn iter_yields_live_records_in_slot_order() {
+        let mut s: Slab<u32> = Slab::new();
+        let a = s.alloc(10);
+        let b = s.alloc(20);
+        let c = s.alloc(30);
+        s.free(b);
+        let seen: Vec<_> = s.iter().map(|(h, &v)| (h, v)).collect();
+        assert_eq!(seen, vec![(a, 10), (c, 30)]);
+        // Handles from iter() are usable.
+        assert_eq!(s[seen[1].0], 30);
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 2);
+    }
+
+    #[test]
+    fn queue_iter_walks_head_to_tail_without_removing() {
+        let mut s: Slab<u32> = Slab::new();
+        let mut q: HandleQueue<u32> = HandleQueue::new();
+        let hs: Vec<_> = (0..4).map(|i| s.alloc(i)).collect();
+        for &h in &hs {
+            q.push_back(&mut s, h);
+        }
+        assert_eq!(q.iter(&s).collect::<Vec<_>>(), hs);
+        assert_eq!(q.len(), 4, "iteration must not drain");
+        assert_eq!(q.pop_front(&mut s), Some(hs[0]));
+        assert_eq!(q.iter(&s).collect::<Vec<_>>(), hs[1..]);
+    }
+
+    #[test]
+    fn absorb_stats_continues_predecessor_telemetry() {
+        let mut s: Slab<u8> = Slab::new();
+        let _ = s.alloc(1); // as if restored: live=1, allocs=1, hw=1
+        s.absorb_stats(9, 3);
+        assert_eq!(
+            s.stats(),
+            SlabStats {
+                live: 1,
+                high_water: 4,
+                allocs: 10
             }
         );
     }

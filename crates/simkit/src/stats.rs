@@ -93,6 +93,34 @@ impl ThroughputMeter {
         self.throughput_bytes_s(now) / GIB
     }
 
+    /// The warm-up cutoff this meter was armed with.
+    #[must_use]
+    pub fn warmup(&self) -> Cycle {
+        self.warmup
+    }
+
+    /// Serializes the meter into a snapshot.
+    pub fn encode(&self, e: &mut crate::snap::Encoder) {
+        e.u64(self.warmup);
+        e.u64(self.bytes);
+        e.u64(self.warmup_bytes);
+        e.u64(self.events);
+    }
+
+    /// Decodes a meter written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`](crate::snap::SnapError) on malformed bytes.
+    pub fn decode(d: &mut crate::snap::Decoder<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(Self {
+            warmup: d.u64()?,
+            bytes: d.u64()?,
+            warmup_bytes: d.u64()?,
+            events: d.u64()?,
+        })
+    }
+
     /// Moves `other`'s counts into this meter, leaving `other` zeroed (its
     /// warm-up cutoff is kept, so it can keep recording).
     ///
@@ -271,6 +299,64 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Serializes the histogram into a snapshot (sparse: only non-zero
+    /// buckets).
+    pub fn encode(&self, e: &mut crate::snap::Encoder) {
+        e.u64(self.count);
+        e.u128(self.sum);
+        let nonzero = self.buckets.iter().filter(|&&c| c != 0).count();
+        e.usize(nonzero);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                e.usize(i);
+                e.u64(c);
+            }
+        }
+    }
+
+    /// Decodes a histogram written by [`encode`](Self::encode),
+    /// validating that the bucket counts sum to the sample count.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`](crate::snap::SnapError) on malformed or
+    /// inconsistent bytes.
+    pub fn decode(d: &mut crate::snap::Decoder<'_>) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let count = d.u64()?;
+        let sum = d.u128()?;
+        let nonzero = d.count("histogram buckets")?;
+        if nonzero > 64 {
+            return Err(SnapError::Corrupt("histogram bucket count"));
+        }
+        let mut buckets = vec![0u64; 64];
+        let mut total: u64 = 0;
+        let mut last: Option<usize> = None;
+        for _ in 0..nonzero {
+            let i = d.usize()?;
+            if i >= 64 || last.is_some_and(|l| i <= l) {
+                return Err(SnapError::Corrupt("histogram bucket index"));
+            }
+            last = Some(i);
+            let c = d.u64()?;
+            if c == 0 {
+                return Err(SnapError::Corrupt("histogram zero bucket encoded"));
+            }
+            total = total
+                .checked_add(c)
+                .ok_or(SnapError::Corrupt("histogram count overflow"))?;
+            buckets[i] = c;
+        }
+        if total != count {
+            return Err(SnapError::Corrupt("histogram count mismatch"));
+        }
+        Ok(Self {
+            buckets,
+            count,
+            sum,
+        })
+    }
+
     /// Count in log-2 bucket `i` (values in `[2^i, 2^(i+1))`).
     ///
     /// # Panics
@@ -415,6 +501,52 @@ mod tests {
             assert_eq!(a.bucket(i), replay.bucket(i), "bucket {i}");
         }
         assert_eq!(a.quantile(0.99), replay.quantile(0.99));
+    }
+
+    #[test]
+    fn meter_and_histogram_snapshot_round_trip() {
+        use crate::snap::{DecodeLimits, Decoder, Encoder};
+        let mut m = ThroughputMeter::new(10);
+        m.record(5, 100);
+        m.record(15, 200);
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let mut e = Encoder::new(0, 0);
+        m.encode(&mut e);
+        h.encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes, 0, 0, DecodeLimits::default()).unwrap();
+        let m2 = ThroughputMeter::decode(&mut d).unwrap();
+        let h2 = Histogram::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(
+            (m2.warmup(), m2.bytes(), m2.warmup_bytes(), m2.events()),
+            (10, 200, 100, 1)
+        );
+        assert_eq!(h2.count(), h.count());
+        assert_eq!(h2.mean().to_bits(), h.mean().to_bits());
+        for i in 0..64 {
+            assert_eq!(h2.bucket(i), h.bucket(i));
+        }
+    }
+
+    #[test]
+    fn histogram_decode_rejects_count_mismatch() {
+        use crate::snap::{DecodeLimits, Decoder, Encoder, SnapError};
+        let mut e = Encoder::new(0, 0);
+        e.u64(5); // claimed count
+        e.u128(0);
+        e.usize(1);
+        e.usize(0);
+        e.u64(3); // buckets only sum to 3
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes, 0, 0, DecodeLimits::default()).unwrap();
+        assert_eq!(
+            Histogram::decode(&mut d).unwrap_err(),
+            SnapError::Corrupt("histogram count mismatch")
+        );
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Checkpoint support shared by the traffic sources.
+//!
+//! All sources serialize with the `simkit::snap` container under one
+//! engine-kind discriminant ([`SNAP_KIND`]); the header's *shape* digest
+//! carries a per-source type tag plus every configuration field, so bytes
+//! from a different source type or a differently configured source are
+//! rejected before any state is decoded. The stochastic generators
+//! (`uniform`, `synthetic`) share the same per-master state triple — an
+//! RNG stream, a fractional next-arrival clock and a transfer serial —
+//! encoded by the helpers here.
+
+use simkit::snap::{Decoder, Encoder, SnapError};
+use simkit::Rng;
+
+/// Traffic sources' discriminant in the snapshot header (the two NoC
+/// engines use 1 and 2).
+pub(crate) const SNAP_KIND: u8 = 3;
+
+/// Shorthand for the source-invariant violation error.
+pub(crate) fn corrupt(msg: &'static str) -> SnapError {
+    SnapError::Corrupt(msg)
+}
+
+/// Serializes one master's Poisson state.
+pub(crate) fn encode_master(e: &mut Encoder, rng: &Rng, next_arrival: f64, serial: u64) {
+    for w in rng.state() {
+        e.fixed_u64(w);
+    }
+    e.f64(next_arrival);
+    e.u64(serial);
+}
+
+/// Decodes one master's Poisson state, rejecting the RNG's unreachable
+/// all-zero state and non-finite arrival clocks (a NaN clock would make
+/// the master inject unconditionally forever).
+pub(crate) fn decode_master(d: &mut Decoder<'_>) -> Result<(Rng, f64, u64), SnapError> {
+    let mut s = [0u64; 4];
+    for w in &mut s {
+        *w = d.fixed_u64()?;
+    }
+    let rng = Rng::from_state(s).ok_or(corrupt("degenerate rng state"))?;
+    let next_arrival = d.f64()?;
+    if !next_arrival.is_finite() || next_arrival < 0.0 {
+        return Err(corrupt("arrival clock out of range"));
+    }
+    let serial = d.u64()?;
+    Ok((rng, next_arrival, serial))
+}

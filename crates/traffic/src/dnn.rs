@@ -19,7 +19,9 @@
 //!   the pipeline; almost pure L1→L1 neighbour traffic, with only core 0 and
 //!   core 15 touching L2.
 
+use crate::chkpt::{self, corrupt};
 use crate::source::{TrafficSource, Transfer, TransferKind};
+use simkit::snap::{DecodeLimits, Decoder, Encoder, SnapError};
 use simkit::{Cycle, Rng};
 use std::collections::VecDeque;
 
@@ -571,6 +573,85 @@ impl DnnTraffic {
         self.completed
     }
 
+    /// Trace fingerprint carried in the checkpoint header: a source-type
+    /// tag plus the complete immutable trace — entries, offsets and the
+    /// dependency graph — so a checkpoint only restores into the exact
+    /// same workload.
+    fn shape(&self) -> u64 {
+        let mut e = Encoder::new(0, 0);
+        e.byte(3); // source type: DNN trace
+        e.usize(self.entries.len());
+        for entry in &self.entries {
+            e.usize(entry.master);
+            e.usize(entry.dst);
+            e.u64(entry.bytes);
+            e.byte(match entry.kind {
+                TransferKind::Read => 0,
+                TransferKind::Write => 1,
+                TransferKind::Copy { .. } => 2,
+            });
+        }
+        for &o in &self.offsets {
+            e.u64(o);
+        }
+        for deps in &self.dependents {
+            e.usize(deps.len());
+            for &d in deps {
+                e.u32(d);
+            }
+        }
+        e.usize(self.ready.len());
+        e.digest()
+    }
+
+    /// The fallible core of `restore_state`: decodes into fresh vectors,
+    /// validating every index against this trace's geometry, and commits
+    /// only on full success.
+    fn try_restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut d = Decoder::new(
+            bytes,
+            chkpt::SNAP_KIND,
+            self.shape(),
+            DecodeLimits::default(),
+        )?;
+        let completed = d.usize()?;
+        if completed > self.entries.len() {
+            return Err(corrupt("more completions than trace entries"));
+        }
+        let mut remaining = Vec::with_capacity(self.entries.len());
+        for _ in 0..self.entries.len() {
+            remaining.push(d.u32()?);
+        }
+        let mut ready: Vec<VecDeque<u32>> = vec![VecDeque::new(); self.ready.len()];
+        let mut seen = vec![false; self.entries.len()];
+        for (m, queue) in ready.iter_mut().enumerate() {
+            let n = d.count("ready entries")?;
+            for _ in 0..n {
+                let idx = d.u32()?;
+                let i = idx as usize;
+                if i >= self.entries.len() {
+                    return Err(corrupt("ready entry out of range"));
+                }
+                if self.entries[i].master != m {
+                    return Err(corrupt("ready entry queued on the wrong master"));
+                }
+                if remaining[i] != 0 {
+                    return Err(corrupt("ready entry with unmet dependencies"));
+                }
+                if seen[i] {
+                    return Err(corrupt("ready entry queued twice"));
+                }
+                seen[i] = true;
+                queue.push_back(idx);
+            }
+        }
+        d.finish()?;
+        self.completed = completed;
+        self.remaining_deps = remaining;
+        self.ready = ready;
+        Ok(())
+    }
+
     /// Fraction of trace bytes that move core-to-core (not touching L2),
     /// useful for validating the workload structure.
     #[must_use]
@@ -626,6 +707,25 @@ impl TrafficSource for DnnTraffic {
 
     fn is_done(&self) -> bool {
         self.completed == self.entries.len()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new(chkpt::SNAP_KIND, self.shape());
+        e.usize(self.completed);
+        for &r in &self.remaining_deps {
+            e.u32(r);
+        }
+        for queue in &self.ready {
+            e.usize(queue.len());
+            for &idx in queue {
+                e.u32(idx);
+            }
+        }
+        Some(e.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        self.try_restore(bytes).is_ok()
     }
 }
 
@@ -915,5 +1015,59 @@ mod tests {
         assert_eq!(DnnWorkload::DistributedTraining.name(), "Train");
         assert_eq!(DnnWorkload::ParallelConv.name(), "Par Conv");
         assert_eq!(DnnWorkload::PipelinedConv.name(), "Pipe Conv");
+    }
+
+    /// Drive a trace instantaneously for `rounds` sweeps over all masters.
+    fn advance(t: &mut DnnTraffic, rounds: usize) {
+        let masters = t.ready.len();
+        for _ in 0..rounds {
+            for m in 0..masters {
+                if let Some(tr) = t.poll(m, 0) {
+                    t.on_complete(m, tr.id, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_the_future_trace() {
+        let cfg = DnnConfig::default();
+        let mut t = DnnTraffic::new(&cfg);
+        advance(&mut t, 40);
+        assert!(t.completed() > 0 && !t.is_done(), "capture mid-trace");
+        let bytes = t.snapshot_state().expect("traces checkpoint");
+        let mut restored = DnnTraffic::new(&cfg);
+        assert!(restored.restore_state(&bytes));
+        assert_eq!(restored.completed(), t.completed());
+        while !t.is_done() {
+            for m in 0..t.ready.len() {
+                let (a, b) = (t.poll(m, 0), restored.poll(m, 0));
+                assert_eq!(a, b);
+                if let Some(tr) = a {
+                    t.on_complete(m, tr.id, 0);
+                    restored.on_complete(m, tr.id, 0);
+                }
+            }
+        }
+        assert!(restored.is_done());
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_trace_refused() {
+        let t = DnnTraffic::new(&DnnConfig::default());
+        let bytes = t.snapshot_state().unwrap();
+        let mut other = DnnTraffic::new(&DnnConfig {
+            steps: 2,
+            ..DnnConfig::default()
+        });
+        assert!(!other.restore_state(&bytes));
+        // Corruption within a matching trace is caught by the digest.
+        let mut same = DnnTraffic::new(&DnnConfig::default());
+        let mut bad = bytes;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        let before = same.snapshot_state().unwrap();
+        assert!(!same.restore_state(&bad));
+        assert_eq!(same.snapshot_state().unwrap(), before);
     }
 }

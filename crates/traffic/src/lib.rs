@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub(crate) mod chkpt;
 pub mod dnn;
 pub mod source;
 pub mod synthetic;

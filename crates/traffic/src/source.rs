@@ -76,6 +76,26 @@ pub trait TrafficSource {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// Serializes the source's complete deterministic state (RNG streams,
+    /// arrival clocks, dependency progress) as a self-validating byte
+    /// string, or `None` when the source does not support checkpointing —
+    /// warm-start forking then falls back to a cold run. Restoring the
+    /// bytes into an identically configured source and continuing to poll
+    /// reproduces this source's future output exactly.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state)
+    /// on a source built from the same configuration. Returns `false` —
+    /// leaving `self` untouched — when the source does not support
+    /// checkpointing or the bytes are truncated, corrupt, or from a
+    /// differently configured source.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +125,7 @@ mod tests {
         assert_eq!(s.poll(0, 0), Some(t));
         assert_eq!(s.poll(0, 1), None);
         s.on_complete(0, 1, 10); // must not panic
+        assert!(s.snapshot_state().is_none(), "checkpointing opt-in");
+        assert!(!s.restore_state(&[1, 2, 3]), "restore refused, no panic");
     }
 }

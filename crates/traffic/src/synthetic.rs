@@ -16,7 +16,9 @@
 //! Transfer lengths and arrival timing use the same randomized-burst Poisson
 //! process as [`crate::uniform`].
 
+use crate::chkpt;
 use crate::source::{TrafficSource, Transfer, TransferKind};
+use simkit::snap::{DecodeLimits, Decoder, Encoder};
 use simkit::{Cycle, Rng};
 
 /// The synthetic access patterns: the three locality-controlled patterns
@@ -218,6 +220,31 @@ impl SyntheticTraffic {
     pub fn eligible(&self, master: usize) -> &[usize] {
         &self.eligible[master]
     }
+
+    /// Configuration fingerprint carried in the checkpoint header: a
+    /// source-type tag plus every field that shapes the generated stream
+    /// (the eligible sets derive from pattern and mesh dimensions).
+    fn shape(&self) -> u64 {
+        let cfg = &self.cfg;
+        let mut e = Encoder::new(0, 0);
+        e.byte(2); // source type: synthetic pattern
+        e.usize(cfg.cols);
+        e.usize(cfg.rows);
+        e.byte(match cfg.pattern {
+            SyntheticPattern::AllGlobal => 0,
+            SyntheticPattern::MaxTwoHop => 1,
+            SyntheticPattern::MaxSingleHop => 2,
+            SyntheticPattern::Transpose => 3,
+            SyntheticPattern::BitComplement => 4,
+        });
+        e.f64(cfg.load);
+        e.f64(cfg.bytes_per_cycle);
+        e.u64(cfg.max_transfer);
+        e.f64(cfg.read_fraction);
+        e.u64(cfg.region_size);
+        e.u64(cfg.seed);
+        e.digest()
+    }
 }
 
 impl TrafficSource for SyntheticTraffic {
@@ -250,6 +277,37 @@ impl TrafficSource for SyntheticTraffic {
             bytes,
             kind,
         })
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new(chkpt::SNAP_KIND, self.shape());
+        for (rng, next_arrival, serial) in &self.per_master {
+            chkpt::encode_master(&mut e, rng, *next_arrival, *serial);
+        }
+        Some(e.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Ok(mut d) = Decoder::new(
+            bytes,
+            chkpt::SNAP_KIND,
+            self.shape(),
+            DecodeLimits::default(),
+        ) else {
+            return false;
+        };
+        let mut fresh = Vec::with_capacity(self.per_master.len());
+        for _ in &self.per_master {
+            let Ok(state) = chkpt::decode_master(&mut d) else {
+                return false;
+            };
+            fresh.push(state);
+        }
+        if d.finish().is_err() {
+            return false;
+        }
+        self.per_master = fresh;
+        true
     }
 }
 
@@ -396,5 +454,39 @@ mod tests {
     #[should_panic(expected = "square")]
     fn transpose_rejects_rectangular_meshes() {
         let _ = SyntheticPattern::Transpose.slave_nodes(4, 3);
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_the_future_stream() {
+        let mut src = SyntheticTraffic::new(cfg(SyntheticPattern::MaxTwoHop));
+        for now in 0..300 {
+            for m in 0..16 {
+                while src.poll(m, now).is_some() {}
+            }
+        }
+        let bytes = src.snapshot_state().expect("synthetic sources checkpoint");
+        let mut restored = SyntheticTraffic::new(cfg(SyntheticPattern::MaxTwoHop));
+        assert!(restored.restore_state(&bytes));
+        for now in 300..800 {
+            for m in 0..16 {
+                loop {
+                    let (a, b) = (src.poll(m, now), restored.poll(m, now));
+                    assert_eq!(a, b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_pattern_refused() {
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::AllGlobal));
+        let bytes = src.snapshot_state().unwrap();
+        let mut other = SyntheticTraffic::new(cfg(SyntheticPattern::Transpose));
+        let before = other.snapshot_state().unwrap();
+        assert!(!other.restore_state(&bytes));
+        assert_eq!(other.snapshot_state().unwrap(), before);
     }
 }

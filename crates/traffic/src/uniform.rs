@@ -7,7 +7,9 @@
 //! process is Poisson with a rate set by the *injected load*: at load 1.0 a
 //! master offers one full data-bus-width of payload per cycle.
 
+use crate::chkpt;
 use crate::source::{TrafficSource, Transfer, TransferKind};
+use simkit::snap::{DecodeLimits, Decoder, Encoder};
 use simkit::{Cycle, Rng};
 
 /// Configuration for [`UniformRandom`].
@@ -115,6 +117,27 @@ impl UniformRandom {
         self.mean_gap
     }
 
+    /// Configuration fingerprint carried in the checkpoint header: a
+    /// source-type tag plus every field that shapes the generated stream.
+    fn shape(&self) -> u64 {
+        let cfg = &self.cfg;
+        let mut e = Encoder::new(0, 0);
+        e.byte(1); // source type: uniform random
+        e.usize(cfg.masters);
+        e.usize(cfg.slaves.len());
+        for &s in &cfg.slaves {
+            e.usize(s);
+        }
+        e.f64(cfg.load);
+        e.f64(cfg.bytes_per_cycle);
+        e.u64(cfg.max_transfer);
+        e.f64(cfg.read_fraction);
+        e.u64(cfg.region_size);
+        e.u64(cfg.seed);
+        e.bool(self.copies);
+        e.digest()
+    }
+
     fn pick_dst(cfg: &UniformConfig, rng: &mut Rng, master: usize) -> usize {
         // Uniform over slaves, excluding the master's own node when present.
         loop {
@@ -173,6 +196,41 @@ impl TrafficSource for UniformRandom {
             bytes,
             kind,
         })
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new(chkpt::SNAP_KIND, self.shape());
+        for st in &self.per_master {
+            chkpt::encode_master(&mut e, &st.rng, st.next_arrival, st.serial);
+        }
+        Some(e.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Ok(mut d) = Decoder::new(
+            bytes,
+            chkpt::SNAP_KIND,
+            self.shape(),
+            DecodeLimits::default(),
+        ) else {
+            return false;
+        };
+        let mut fresh = Vec::with_capacity(self.per_master.len());
+        for _ in &self.per_master {
+            let Ok((rng, next_arrival, serial)) = chkpt::decode_master(&mut d) else {
+                return false;
+            };
+            fresh.push(MasterState {
+                rng,
+                next_arrival,
+                serial,
+            });
+        }
+        if d.finish().is_err() {
+            return false;
+        }
+        self.per_master = fresh;
+        true
     }
 }
 
@@ -310,5 +368,48 @@ mod tests {
     #[should_panic(expected = "load must be positive")]
     fn zero_load_rejected() {
         let _ = UniformRandom::new(cfg(0.0, 100));
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_the_future_stream() {
+        let mut src = UniformRandom::new_copies(cfg(0.7, 200));
+        for m in 0..16 {
+            let _ = drain(&mut src, m, 500);
+        }
+        let bytes = src.snapshot_state().expect("uniform sources checkpoint");
+        let mut restored = UniformRandom::new_copies(cfg(0.7, 200));
+        assert!(restored.restore_state(&bytes));
+        for m in 0..16 {
+            for now in 500..1500 {
+                assert_eq!(src.poll(m, now), restored.poll(m, now));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_refused_and_state_untouched() {
+        let mut src = UniformRandom::new(cfg(0.5, 100));
+        let _ = drain(&mut src, 0, 200);
+        let mut bytes = src.snapshot_state().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let mut target = UniformRandom::new(cfg(0.5, 100));
+        let before = target.snapshot_state().unwrap();
+        assert!(!target.restore_state(&bytes));
+        assert_eq!(target.snapshot_state().unwrap(), before);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_config_refused() {
+        let src = UniformRandom::new(cfg(0.5, 100));
+        let bytes = src.snapshot_state().unwrap();
+        // Different seed, copies flag, and load all change the shape.
+        let mut other = UniformRandom::new(UniformConfig {
+            seed: 99,
+            ..cfg(0.5, 100)
+        });
+        assert!(!other.restore_state(&bytes));
+        let mut copies = UniformRandom::new_copies(cfg(0.5, 100));
+        assert!(!copies.restore_state(&bytes));
     }
 }
