@@ -9,6 +9,10 @@
 //! * `BENCH_scaling.json` (`figure = "scaling"`): the serial run of any
 //!   mesh size must not lose more than its **per-size** threshold (small
 //!   meshes gate looser — their quick windows measure noisier).
+//! * `BENCH_fig4.json` (`figure = "fig4"`): every `(curve, load)`
+//!   throughput cell must match the baseline to within a fixed epsilon —
+//!   simulated results are deterministic, so the threshold flag does not
+//!   apply and any drift fails the gate.
 //!
 //! ```text
 //! bench-diff BASELINE.json CURRENT.json [--threshold F]
@@ -21,8 +25,8 @@
 //! is for like-for-like hardware.
 
 use bench::diff::{
-    compare_saturated, compare_scaling, figure, parse_points, parse_scaling_points, Comparison,
-    ScalingComparison, DEFAULT_THRESHOLD,
+    compare_fig4, compare_saturated, compare_scaling, figure, parse_fig4_points, parse_points,
+    parse_scaling_points, Comparison, Fig4Comparison, ScalingComparison, DEFAULT_THRESHOLD,
 };
 use bench::json::Json;
 use std::path::PathBuf;
@@ -30,7 +34,9 @@ use std::process::exit;
 
 const USAGE: &str = "usage: bench-diff BASELINE.json CURRENT.json [--threshold F]
   --threshold F  allowed fractional cycles_per_sec regression at the
-                 saturated point (default: $BENCH_DIFF_THRESHOLD, else 0.05)";
+                 saturated point (default: $BENCH_DIFF_THRESHOLD, else 0.05);
+                 ignored for fig4 artifacts, whose deterministic
+                 trajectories gate on a fixed epsilon";
 
 struct Options {
     baseline: PathBuf,
@@ -166,6 +172,49 @@ fn diff_scaling(opts: &Options, baseline: &Json, current: &Json) -> usize {
     regressions.len()
 }
 
+fn diff_fig4(opts: &Options, baseline: &Json, current: &Json) -> usize {
+    let baseline_pts = parse_fig4_points(baseline)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.baseline.display())));
+    let current_pts = parse_fig4_points(current)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", opts.current.display())));
+    let comparisons = compare_fig4(&baseline_pts, &current_pts);
+    if comparisons.is_empty() {
+        fail("no (curve, load) cell is measured in both files");
+    }
+
+    println!(
+        "fig4 throughput trajectories vs {} (deterministic — epsilon gate)",
+        opts.baseline.display()
+    );
+    println!(
+        "{:>14} {:>8} {:>14} {:>14}",
+        "curve", "load", "baseline GiB/s", "current GiB/s"
+    );
+    let mut divergences: Vec<&Fig4Comparison> = Vec::new();
+    for c in &comparisons {
+        let flag = if c.diverged() {
+            divergences.push(c);
+            "  DIVERGED"
+        } else {
+            ""
+        };
+        println!(
+            "{:>14} {:>8.4} {:>14.3} {:>14.3}{flag}",
+            c.curve, c.load, c.baseline_gib_s, c.current_gib_s
+        );
+    }
+    if !divergences.is_empty() {
+        eprintln!(
+            "error: {} fig4 cell(s) drifted from the committed trajectory — \
+             simulated results are deterministic, so this is a physics change, \
+             not measurement noise",
+            divergences.len()
+        );
+        exit(1);
+    }
+    0
+}
+
 fn main() {
     let env_threshold = std::env::var("BENCH_DIFF_THRESHOLD").ok();
     let opts = match try_parse(std::env::args().skip(1), env_threshold.as_deref()) {
@@ -182,8 +231,9 @@ fn main() {
     let regressions = match fig.as_str() {
         "perf" => diff_perf(&opts, &baseline, &current),
         "scaling" => diff_scaling(&opts, &baseline, &current),
+        "fig4" => diff_fig4(&opts, &baseline, &current),
         other => fail(&format!(
-            "unsupported figure `{other}` (bench-diff gates `perf` and `scaling` artifacts)"
+            "unsupported figure `{other}` (bench-diff gates `perf`, `scaling` and `fig4` artifacts)"
         )),
     };
     if regressions > 0 {

@@ -19,6 +19,14 @@
 //! artifact records the `warmup_cycles_saved`. Forked runs are
 //! bit-identical to cold runs, so the flag only moves wall clock.
 //!
+//! Event-horizon time skipping is on by default (`BENCH_TIME_SKIP=0`
+//! disables it for the reference artifact CI uploads alongside): the
+//! active mode then jumps `now` across provably idle gaps, which is
+//! where the near-idle point's speedup comes from. Each point records
+//! its `cycles_skipped`, and the binary exits non-zero when skipping is
+//! enabled but the near-idle point skipped nothing — a dead-feature
+//! guard on the horizon logic.
+//!
 //! Points run *serially* regardless of `--jobs`: parallel workers would
 //! contend for cores and corrupt the wall-clock comparison.
 
@@ -26,20 +34,24 @@ use bench::defaults::{WARMUP, WINDOW};
 use bench::json::Json;
 use bench::perf::{
     capture_packet_warm, capture_patronoc_warm, mode_json, run_packet, run_packet_warm,
-    run_patronoc, run_patronoc_warm, telemetry_is_live, Runner, WarmCapture, WarmRunner,
+    run_patronoc, run_patronoc_warm, telemetry_is_live, Runner, StepMode, WarmCapture, WarmRunner,
 };
-use bench::sweep::{warm_start_enabled, SweepOptions};
+use bench::sweep::{time_skip_enabled, warm_start_enabled, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::parse("PERF_QUICK");
     let warm_start = warm_start_enabled();
+    let time_skip = time_skip_enabled();
     let (window, warmup) = if opts.quick {
         (60_000, 10_000)
     } else {
         (WINDOW, WARMUP)
     };
-    // The lowest and highest injected loads of quick-mode fig4.
-    let loads = [0.001, 1.0];
+    // The lowest and highest injected loads of quick-mode fig4, plus a
+    // deep-idle point in front: at 1e-3 a meaningful fraction of the wall
+    // clock is real transfer work, so the near-pure-idle 1e-5 point is
+    // where O(events) time skipping (vs O(cycles) stepping) is measured.
+    let loads = [0.000_01, 0.001, 1.0];
     let engines: [(&str, Runner, WarmCapture, WarmRunner); 2] = [
         (
             "patronoc",
@@ -57,12 +69,13 @@ fn main() {
 
     println!("simulator performance: activity-driven vs full-sweep stepping");
     println!(
-        "window {window} cycles, warmup {warmup} cycles{}",
+        "window {window} cycles, warmup {warmup} cycles{}{}",
         if warm_start {
             " (warm-start forking)"
         } else {
             ""
-        }
+        },
+        if time_skip { "" } else { " (time skip OFF)" }
     );
     println!(
         "{:>16} {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>12}",
@@ -80,50 +93,55 @@ fn main() {
     // the fastest run is the least-interfered measurement. Under warm
     // start the repetitions fork from one checkpoint (skipping the
     // warm-up each time) and still must agree.
-    let best_of = |runner: Runner,
-                   capture: WarmCapture,
-                   warm_run: WarmRunner,
-                   load: f64,
-                   full_sweep: bool| {
-        let warm = if warm_start {
-            capture(load, warmup, full_sweep)
-        } else {
-            None
-        };
-        let mut forked: u64 = 0;
-        let mut run_once = || {
-            if let Some(w) = &warm {
-                if let Some(result) = warm_run(load, window, warmup, full_sweep, w) {
-                    forked += 1;
-                    return result;
+    let best_of =
+        |runner: Runner, capture: WarmCapture, warm_run: WarmRunner, load: f64, mode: StepMode| {
+            let warm = if warm_start {
+                capture(load, warmup, mode)
+            } else {
+                None
+            };
+            let mut forked: u64 = 0;
+            let mut run_once = || {
+                if let Some(w) = &warm {
+                    if let Some(result) = warm_run(load, window, warmup, mode, w) {
+                        forked += 1;
+                        return result;
+                    }
+                }
+                runner(load, window, warmup, mode)
+            };
+            let mut best = run_once();
+            for _ in 1..3 {
+                let next = run_once();
+                assert_eq!(
+                    next.report, best.report,
+                    "repeated identical runs must agree"
+                );
+                if next.report.cycles_per_sec > best.report.cycles_per_sec {
+                    best = next;
                 }
             }
-            runner(load, window, warmup, full_sweep)
+            // Each fork skipped its warm-up; the capture itself paid one.
+            let saved = (forked * warmup).saturating_sub(warm.map_or(0, |w| w.warmup()));
+            (best, saved)
         };
-        let mut best = run_once();
-        for _ in 1..3 {
-            let next = run_once();
-            assert_eq!(
-                next.report, best.report,
-                "repeated identical runs must agree"
-            );
-            if next.report.cycles_per_sec > best.report.cycles_per_sec {
-                best = next;
-            }
-        }
-        // Each fork skipped its warm-up; the capture itself paid one.
-        let saved = (forked * warmup).saturating_sub(warm.map_or(0, |w| w.warmup()));
-        (best, saved)
-    };
     let mut points = Vec::new();
     let mut all_identical = true;
     let mut all_telemetry_live = true;
+    let mut skipping_live = true;
     let mut warmup_saved: u64 = 0;
     for (name, runner, capture, warm_run) in engines {
         for &load in &loads {
-            let (full, full_saved) = best_of(runner, capture, warm_run, load, true);
-            let (active, active_saved) = best_of(runner, capture, warm_run, load, false);
+            let (full, full_saved) = best_of(runner, capture, warm_run, load, StepMode::full());
+            let (active, active_saved) =
+                best_of(runner, capture, warm_run, load, StepMode::active(time_skip));
             warmup_saved += full_saved + active_saved;
+            // Dead-feature guard: with skipping on, the near-idle point
+            // must actually skip — a zero here means the horizon logic
+            // silently stopped firing.
+            if time_skip && load == loads[0] {
+                skipping_live &= active.report.cycles_skipped > 0;
+            }
             let identical = active.report == full.report;
             all_identical &= identical;
             let telemetry_live = telemetry_is_live(&active) && telemetry_is_live(&full);
@@ -164,11 +182,12 @@ fn main() {
 
     opts.emit_json(&Json::obj(vec![
         ("figure", Json::str("perf")),
-        ("schema_version", Json::U64(2)),
+        ("schema_version", Json::U64(3)),
         ("quick", Json::Bool(opts.quick)),
         ("window", Json::U64(window)),
         ("warmup", Json::U64(warmup)),
         ("warm_start", Json::Bool(warm_start)),
+        ("time_skip", Json::Bool(time_skip)),
         ("warmup_cycles_saved", Json::U64(warmup_saved)),
         ("points", Json::Arr(points)),
     ]));
@@ -179,6 +198,10 @@ fn main() {
     }
     if !all_telemetry_live {
         eprintln!("error: slab-allocation telemetry missing or zero in a perf point");
+        std::process::exit(1);
+    }
+    if !skipping_live {
+        eprintln!("error: time skipping enabled but the near-idle point skipped zero cycles");
         std::process::exit(1);
     }
 }

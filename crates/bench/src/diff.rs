@@ -11,10 +11,15 @@
 //!   regress by more than a per-size threshold — small meshes finish a
 //!   quick window in little wall time and measure noisier, so their gate
 //!   is proportionally looser (see [`ScalingComparison::threshold`]).
+//! * `"fig4"` (`BENCH_fig4.json`): the **simulated** throughput of every
+//!   `(curve, load)` cell present in both files must match the baseline
+//!   to within [`FIG4_EPSILON`] — unlike wall clock, the trajectories are
+//!   deterministic, so any drift is a physics change, not noise.
 //!
 //! Wall clock is noisy across machines, so the CI threshold is
 //! deliberately generous; the default matches the 5 % gate the acceptance
-//! criteria name for like-for-like hardware.
+//! criteria name for like-for-like hardware. The fig4 gate ignores the
+//! threshold entirely: determinism admits only float-formatting slack.
 
 use crate::json::Json;
 
@@ -281,6 +286,101 @@ pub fn compare_scaling(
         .collect()
 }
 
+/// Allowed relative divergence of a fig4 throughput cell. The simulated
+/// results are bit-deterministic and the JSON writer prints floats with
+/// shortest-round-trip precision, so this only has to absorb formatting
+/// slack — it is headroom, not a tolerance for physics drift.
+pub const FIG4_EPSILON: f64 = 1e-9;
+
+/// One throughput cell extracted from a `BENCH_fig4.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Point {
+    /// Curve label (`"burst<1000"`, `"noxim(1,4)"`).
+    pub curve: String,
+    /// Injected load of the cell.
+    pub load: f64,
+    /// Simulated throughput in GiB/s.
+    pub gib_s: f64,
+}
+
+/// One fig4 cell comparison between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Comparison {
+    /// Curve label.
+    pub curve: String,
+    /// Injected load.
+    pub load: f64,
+    /// Baseline throughput.
+    pub baseline_gib_s: f64,
+    /// Current throughput.
+    pub current_gib_s: f64,
+}
+
+impl Fig4Comparison {
+    /// Whether the cell drifted beyond [`FIG4_EPSILON`], relative to the
+    /// larger magnitude (absolute near zero, where relative error is
+    /// meaningless).
+    #[must_use]
+    pub fn diverged(&self) -> bool {
+        let scale = self.baseline_gib_s.abs().max(self.current_gib_s.abs());
+        (self.current_gib_s - self.baseline_gib_s).abs() > FIG4_EPSILON * scale.max(1.0)
+    }
+}
+
+/// Extracts every `(curve, load, gib_s)` cell of a parsed
+/// `BENCH_fig4.json` document, in document order.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field, naming the key.
+pub fn parse_fig4_points(doc: &Json) -> Result<Vec<Fig4Point>, String> {
+    let figure = get_str(doc, "figure")?;
+    if figure != "fig4" {
+        return Err(format!(
+            "not a BENCH_fig4.json document (figure `{figure}`)"
+        ));
+    }
+    let Json::Arr(curves) = get(doc, "curves")? else {
+        return Err("`curves` is not an array".into());
+    };
+    let mut cells = Vec::new();
+    for c in curves {
+        let curve = get_str(c, "label")?;
+        let Json::Arr(points) = get(c, "points")? else {
+            return Err(format!("curve `{curve}`: `points` is not an array"));
+        };
+        for p in points {
+            cells.push(Fig4Point {
+                curve: curve.clone(),
+                load: get_f64(p, "load")?,
+                gib_s: get_f64(p, "gib_s")?,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Pairs up every `(curve, load)` cell present in **both** fig4 sweeps,
+/// in the baseline's order. A quick current sweep against a full baseline
+/// simply compares the shared grid.
+#[must_use]
+pub fn compare_fig4(baseline: &[Fig4Point], current: &[Fig4Point]) -> Vec<Fig4Comparison> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let c = current
+                .iter()
+                .find(|c| c.curve == b.curve && c.load == b.load)?;
+            Some(Fig4Comparison {
+                curve: b.curve.clone(),
+                load: b.load,
+                baseline_gib_s: b.gib_s,
+                current_gib_s: c.gib_s,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +549,107 @@ mod tests {
         let cmp = compare_scaling(&base, &cur[..1]);
         assert_eq!(cmp.len(), 1);
         assert_eq!(cmp[0].mesh, "8x8");
+    }
+
+    fn fig4_doc(curves: Vec<(&str, Vec<(f64, f64)>)>) -> Json {
+        Json::obj(vec![
+            ("figure", Json::str("fig4")),
+            (
+                "curves",
+                Json::Arr(
+                    curves
+                        .into_iter()
+                        .map(|(label, points)| {
+                            Json::obj(vec![
+                                ("label", Json::str(label)),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        points
+                                            .into_iter()
+                                            .map(|(load, gib_s)| {
+                                                Json::obj(vec![
+                                                    ("load", Json::F64(load)),
+                                                    ("gib_s", Json::F64(gib_s)),
+                                                    ("cycles_per_sec", Json::F64(1e6)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn parses_the_fig4_schema() {
+        let d = fig4_doc(vec![
+            ("burst<1000", vec![(0.001, 0.04), (1.0, 19.0)]),
+            ("noxim(1,4)", vec![(0.001, 0.02), (1.0, 2.25)]),
+        ]);
+        assert_eq!(figure(&d).unwrap(), "fig4");
+        let pts = parse_fig4_points(&d).unwrap();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[1].curve, "burst<1000");
+        assert_eq!(pts[1].load, 1.0);
+        assert_eq!(pts[1].gib_s, 19.0);
+        assert!(parse_fig4_points(&doc(vec![]))
+            .unwrap_err()
+            .contains("perf"));
+    }
+
+    #[test]
+    fn fig4_gate_flags_any_trajectory_drift() {
+        let base = parse_fig4_points(&fig4_doc(vec![(
+            "burst<1000",
+            vec![(0.001, 0.04), (1.0, 19.0)],
+        )]))
+        .unwrap();
+        // Bit-identical current: nothing diverges (the expected CI case).
+        let cmp = compare_fig4(&base, &base);
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp.iter().all(|c| !c.diverged()));
+        // A 0.1% drift in one cell — far below any wall-clock gate — is
+        // already a physics change and must trip.
+        let drifted = parse_fig4_points(&fig4_doc(vec![(
+            "burst<1000",
+            vec![(0.001, 0.04), (1.0, 19.019)],
+        )]))
+        .unwrap();
+        let cmp = compare_fig4(&base, &drifted);
+        assert!(!cmp[0].diverged());
+        assert!(cmp[1].diverged());
+        // Zero-throughput cells compare absolutely, not relatively.
+        let zero = Fig4Comparison {
+            curve: "burst<1000".into(),
+            load: 0.001,
+            baseline_gib_s: 0.0,
+            current_gib_s: 0.0,
+        };
+        assert!(!zero.diverged());
+    }
+
+    #[test]
+    fn fig4_cells_missing_from_either_side_are_skipped() {
+        // Quick sweep (5 loads) against a full baseline (13 loads): only
+        // the shared grid compares; an unknown curve vanishes too.
+        let base = parse_fig4_points(&fig4_doc(vec![
+            ("burst<1000", vec![(0.001, 0.04), (0.5, 10.0), (1.0, 19.0)]),
+            ("burst<100", vec![(1.0, 12.0)]),
+        ]))
+        .unwrap();
+        let cur = parse_fig4_points(&fig4_doc(vec![(
+            "burst<1000",
+            vec![(0.001, 0.04), (1.0, 19.0)],
+        )]))
+        .unwrap();
+        let cmp = compare_fig4(&base, &cur);
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp.iter().all(|c| c.curve == "burst<1000"));
     }
 
     #[test]

@@ -20,15 +20,48 @@ pub struct ModeResult {
     pub work_items: u64,
 }
 
-/// A point runner: `(load, window, warmup, full_sweep) → result`.
-pub type Runner = fn(f64, u64, u64, bool) -> ModeResult;
+/// The stepping discipline of one perf run: the activity-driven vs
+/// `full_sweep` axis the sweep compares, and the event-horizon
+/// `time_skip` knob (`BENCH_TIME_SKIP`, default on; irrelevant under
+/// `full_sweep`, which forces skipping off in the engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepMode {
+    /// Step every component every cycle (the reference discipline).
+    pub full_sweep: bool,
+    /// Jump `now` across provably idle gaps.
+    pub time_skip: bool,
+}
+
+impl StepMode {
+    /// Activity-driven stepping, with skipping as requested.
+    #[must_use]
+    pub fn active(time_skip: bool) -> Self {
+        Self {
+            full_sweep: false,
+            time_skip,
+        }
+    }
+
+    /// The full-sweep reference (never skips).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            full_sweep: true,
+            time_skip: false,
+        }
+    }
+}
+
+/// A point runner: `(load, window, warmup, mode) → result`.
+pub type Runner = fn(f64, u64, u64, StepMode) -> ModeResult;
 
 /// One PATRONoC perf point (uniform copies on the slim 4×4).
 #[must_use]
-pub fn run_patronoc(load: f64, window: u64, warmup: u64, full_sweep: bool) -> ModeResult {
+pub fn run_patronoc(load: f64, window: u64, warmup: u64, mode: StepMode) -> ModeResult {
     let sc = patronoc_uniform_scenario(32, load, 1_000, window, warmup, PERF_SEED);
     let mut cfg = sc.noc_config().expect("valid perf scenario");
-    cfg.full_sweep = full_sweep;
+    cfg.full_sweep = mode.full_sweep;
+    cfg.time_skip = mode.time_skip;
     let mut sim = patronoc::NocSim::new(cfg).expect("valid configuration");
     let mut src = sc.build_source();
     let report = sim.run(&mut *src, warmup + window, warmup);
@@ -40,10 +73,11 @@ pub fn run_patronoc(load: f64, window: u64, warmup: u64, full_sweep: bool) -> Mo
 
 /// One packet-baseline perf point (uniform traffic, compact profile).
 #[must_use]
-pub fn run_packet(load: f64, window: u64, warmup: u64, full_sweep: bool) -> ModeResult {
+pub fn run_packet(load: f64, window: u64, warmup: u64, mode: StepMode) -> ModeResult {
     let sc = noxim_uniform_scenario(PacketProfile::Compact, load, 100, window, warmup, PERF_SEED);
     let mut cfg = PacketProfile::Compact.base_config();
-    cfg.full_sweep = full_sweep;
+    cfg.full_sweep = mode.full_sweep;
+    cfg.time_skip = mode.time_skip;
     let mut sim = packetnoc::PacketNocSim::new(cfg);
     let mut src = sc.build_source();
     let report = sim.run(&mut *src, warmup + window, warmup);
@@ -75,24 +109,25 @@ impl PerfWarm {
     }
 }
 
-/// A warm-up capture: `(load, warmup, full_sweep) → checkpoint`.
-pub type WarmCapture = fn(f64, u64, bool) -> Option<PerfWarm>;
+/// A warm-up capture: `(load, warmup, mode) → checkpoint`.
+pub type WarmCapture = fn(f64, u64, StepMode) -> Option<PerfWarm>;
 
-/// A forking point runner: `(load, window, warmup, full_sweep, warm) →
+/// A forking point runner: `(load, window, warmup, mode, warm) →
 /// result`, bit-identical to the cold [`Runner`] of the same point.
-pub type WarmRunner = fn(f64, u64, u64, bool, &PerfWarm) -> Option<ModeResult>;
+pub type WarmRunner = fn(f64, u64, u64, StepMode, &PerfWarm) -> Option<ModeResult>;
 
 /// Captures the PATRONoC perf point's warm-up. `None` when warm-starting
 /// cannot be exact (no warm-up, an early drain, a source that cannot
 /// checkpoint) — the caller falls back to cold runs.
 #[must_use]
-pub fn capture_patronoc_warm(load: f64, warmup: u64, full_sweep: bool) -> Option<PerfWarm> {
+pub fn capture_patronoc_warm(load: f64, warmup: u64, mode: StepMode) -> Option<PerfWarm> {
     if warmup == 0 {
         return None;
     }
     let sc = patronoc_uniform_scenario(32, load, 1_000, 0, warmup, PERF_SEED);
     let mut cfg = sc.noc_config().ok()?;
-    cfg.full_sweep = full_sweep;
+    cfg.full_sweep = mode.full_sweep;
+    cfg.time_skip = mode.time_skip;
     let mut sim = patronoc::NocSim::new(cfg).ok()?;
     let mut src = sc.build_source();
     let report = sim.run(&mut *src, warmup, warmup);
@@ -114,7 +149,7 @@ pub fn run_patronoc_warm(
     load: f64,
     window: u64,
     warmup: u64,
-    full_sweep: bool,
+    mode: StepMode,
     warm: &PerfWarm,
 ) -> Option<ModeResult> {
     if warm.warmup != warmup {
@@ -122,7 +157,8 @@ pub fn run_patronoc_warm(
     }
     let sc = patronoc_uniform_scenario(32, load, 1_000, window, warmup, PERF_SEED);
     let mut cfg = sc.noc_config().ok()?;
-    cfg.full_sweep = full_sweep;
+    cfg.full_sweep = mode.full_sweep;
+    cfg.time_skip = mode.time_skip;
     let mut sim = patronoc::NocSim::new(cfg).ok()?;
     sim.restore(&warm.engine).ok()?;
     let mut src = sc.build_source();
@@ -141,13 +177,14 @@ pub fn run_patronoc_warm(
 /// Captures the packet-baseline perf point's warm-up (see
 /// [`capture_patronoc_warm`]).
 #[must_use]
-pub fn capture_packet_warm(load: f64, warmup: u64, full_sweep: bool) -> Option<PerfWarm> {
+pub fn capture_packet_warm(load: f64, warmup: u64, mode: StepMode) -> Option<PerfWarm> {
     if warmup == 0 {
         return None;
     }
     let sc = noxim_uniform_scenario(PacketProfile::Compact, load, 100, 0, warmup, PERF_SEED);
     let mut cfg = PacketProfile::Compact.base_config();
-    cfg.full_sweep = full_sweep;
+    cfg.full_sweep = mode.full_sweep;
+    cfg.time_skip = mode.time_skip;
     let mut sim = packetnoc::PacketNocSim::new(cfg);
     let mut src = sc.build_source();
     let report = sim.run(&mut *src, warmup, warmup);
@@ -168,7 +205,7 @@ pub fn run_packet_warm(
     load: f64,
     window: u64,
     warmup: u64,
-    full_sweep: bool,
+    mode: StepMode,
     warm: &PerfWarm,
 ) -> Option<ModeResult> {
     if warm.warmup != warmup {
@@ -176,7 +213,8 @@ pub fn run_packet_warm(
     }
     let sc = noxim_uniform_scenario(PacketProfile::Compact, load, 100, window, warmup, PERF_SEED);
     let mut cfg = PacketProfile::Compact.base_config();
-    cfg.full_sweep = full_sweep;
+    cfg.full_sweep = mode.full_sweep;
+    cfg.time_skip = mode.time_skip;
     let mut sim = packetnoc::PacketNocSim::new(cfg);
     sim.restore(&warm.engine).ok()?;
     let mut src = sc.build_source();
@@ -204,6 +242,7 @@ pub fn mode_json(m: &ModeResult) -> Json {
             "allocs_per_kilocycle",
             Json::F64(m.report.allocs_per_kilocycle),
         ),
+        ("cycles_skipped", Json::U64(m.report.cycles_skipped)),
     ])
 }
 

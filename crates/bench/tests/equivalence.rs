@@ -322,6 +322,106 @@ fn active_stepping_saves_work_at_low_injection_on_both_engines() {
 }
 
 // ---------------------------------------------------------------------------
+// Event-horizon time skipping: jumping `now` across provably idle gaps must
+// be invisible in every observable — the full `SimReport` (state digest
+// included) must match the cycle-by-cycle reference bit for bit, on both
+// engines, across every traffic class, at idle / mid / saturated operating
+// points, and at every shard thread count.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn time_skipping_is_bit_identical_across_engines_traffic_and_threads() {
+    let mut scenarios = Vec::new();
+    for &load in &LOADS {
+        scenarios.push(patronoc_uniform_scenario(
+            32,
+            load,
+            1_000,
+            WINDOW,
+            WARMUP,
+            defaults::fig4_patronoc_seed(1_000, 7),
+        ));
+        scenarios.push(noxim_uniform_scenario(
+            PacketProfile::Compact,
+            load,
+            100,
+            WINDOW,
+            WARMUP,
+            77,
+        ));
+        scenarios.push(
+            Scenario::patronoc()
+                .traffic(TrafficSpec::Synthetic {
+                    pattern: SyntheticPattern::AllGlobal,
+                    load,
+                    max_transfer: 10_000,
+                    read_fraction: 0.5,
+                })
+                .warmup(WARMUP)
+                .window(WINDOW)
+                .seed(defaults::fig6_seed(10_000)),
+        );
+        scenarios.push(
+            Scenario::packet(PacketProfile::HighPerformance)
+                .traffic(TrafficSpec::Synthetic {
+                    pattern: SyntheticPattern::Hotspot { skew_pct: 70 },
+                    load,
+                    max_transfer: 10_000,
+                    read_fraction: 0.5,
+                })
+                .warmup(WARMUP)
+                .window(WINDOW)
+                .seed(defaults::fig6_seed(10_000)),
+        );
+    }
+    scenarios.push(dnn_scenario(512, DnnWorkload::PipelinedConv, 1));
+    scenarios.push(
+        Scenario::packet(PacketProfile::HighPerformance)
+            .traffic(TrafficSpec::dnn(DnnWorkload::PipelinedConv, 1))
+            .budget(300_000),
+    );
+    for sc in &scenarios {
+        for threads in [1usize, 2, 4] {
+            let sc = sc.clone().threads(threads);
+            let reference = sc.clone().time_skip(false).run().expect("valid scenario");
+            let skipped = sc.clone().time_skip(true).run().expect("valid scenario");
+            assert_eq!(reference.cycles_skipped, 0, "reference must not skip");
+            assert_eq!(
+                reference, skipped,
+                "skip diverged for {:?} at {threads} threads",
+                sc.traffic
+            );
+            assert_eq!(
+                reference.state_digest, skipped.state_digest,
+                "digest diverged for {:?} at {threads} threads",
+                sc.traffic
+            );
+        }
+    }
+}
+
+#[test]
+fn time_skipping_crosses_idle_gaps_through_the_scenario_api() {
+    // The feature must be live end-to-end, not just in the engine units:
+    // the near-idle fig4 point skips most of its window when run through
+    // `Scenario::run` with the default (enabled) knob.
+    let sc = patronoc_uniform_scenario(
+        32,
+        0.001,
+        1_000,
+        WINDOW,
+        WARMUP,
+        defaults::fig4_patronoc_seed(1_000, 0),
+    );
+    let report = sc.run().expect("valid scenario");
+    assert!(
+        report.cycles_skipped > 1_000,
+        "near-idle run skipped only {} cycles",
+        report.cycles_skipped
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Slab-arena golden pinning: the slab-backed engines must reproduce the
 // **pre-refactor** reports bit for bit. The values below were captured from
 // the tree as of PR 4 (commit 1f45746, before any slab existed) by running

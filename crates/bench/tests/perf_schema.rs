@@ -7,7 +7,7 @@
 use bench::json::Json;
 use bench::perf::{
     capture_packet_warm, capture_patronoc_warm, mode_json, run_packet, run_packet_warm,
-    run_patronoc, run_patronoc_warm, telemetry_is_live,
+    run_patronoc, run_patronoc_warm, telemetry_is_live, StepMode,
 };
 
 /// Looks up a key in a JSON object.
@@ -27,8 +27,14 @@ fn perf_mode_json_carries_live_allocation_telemetry() {
     // A mid-load point on a small window: cheap, but every engine moves
     // real traffic, so the telemetry must be non-zero.
     for (name, result) in [
-        ("patronoc", run_patronoc(0.3, 5_000, 1_000, false)),
-        ("packet", run_packet(0.3, 5_000, 1_000, false)),
+        (
+            "patronoc",
+            run_patronoc(0.3, 5_000, 1_000, StepMode::active(true)),
+        ),
+        (
+            "packet",
+            run_packet(0.3, 5_000, 1_000, StepMode::active(true)),
+        ),
     ] {
         assert!(
             telemetry_is_live(&result),
@@ -45,9 +51,14 @@ fn perf_mode_json_carries_live_allocation_telemetry() {
             Json::F64(v) => assert!(*v > 0.0, "{name}: zero allocs_per_kilocycle"),
             other => panic!("{name}: allocs_per_kilocycle has wrong type: {other:?}"),
         }
-        // The pre-existing speed fields survive alongside.
+        // The pre-existing speed fields survive alongside, plus the
+        // time-skip telemetry.
         for key in ["gib_s", "cycles_per_sec", "work_items"] {
             let _ = field(&json, key);
+        }
+        match field(&json, "cycles_skipped") {
+            Json::U64(_) => {}
+            other => panic!("{name}: cycles_skipped has wrong type: {other:?}"),
         }
     }
 }
@@ -74,10 +85,11 @@ fn warm_forked_points_emit_the_same_schema_and_telemetry() {
         ("packet", run_packet, capture_packet_warm, run_packet_warm),
     ];
     for (name, runner, capture, warm_run) in cells {
-        let cold = runner(0.3, 5_000, 1_000, false);
-        let warm = capture(0.3, 1_000, false).expect("perf points checkpoint");
+        let cold = runner(0.3, 5_000, 1_000, StepMode::active(true));
+        let warm = capture(0.3, 1_000, StepMode::active(true)).expect("perf points checkpoint");
         assert_eq!(warm.warmup(), 1_000);
-        let forked = warm_run(0.3, 5_000, 1_000, false, &warm).expect("warm fork runs");
+        let forked =
+            warm_run(0.3, 5_000, 1_000, StepMode::active(true), &warm).expect("warm fork runs");
         assert_eq!(cold.report, forked.report, "{name}: forked report diverged");
         assert_eq!(cold.work_items, forked.work_items, "{name}");
         assert!(telemetry_is_live(&forked), "{name}: forked telemetry dead");
@@ -88,6 +100,7 @@ fn warm_forked_points_emit_the_same_schema_and_telemetry() {
             "work_items",
             "slab_high_water",
             "allocs_per_kilocycle",
+            "cycles_skipped",
         ] {
             let _ = field(&json, key);
         }
@@ -113,8 +126,8 @@ fn allocation_telemetry_is_identical_across_stepping_modes() {
     // arena counters must agree exactly (even though the field is excluded
     // from `SimReport::eq`, which covers simulated results only).
     for runner in [run_patronoc, run_packet] {
-        let active = runner(0.3, 5_000, 1_000, false);
-        let full = runner(0.3, 5_000, 1_000, true);
+        let active = runner(0.3, 5_000, 1_000, StepMode::active(true));
+        let full = runner(0.3, 5_000, 1_000, StepMode::full());
         assert_eq!(active.report.slab_high_water, full.report.slab_high_water);
         assert_eq!(
             active.report.allocs_per_kilocycle.to_bits(),

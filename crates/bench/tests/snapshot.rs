@@ -13,7 +13,7 @@
 
 use bench::perf::{
     capture_packet_warm, capture_patronoc_warm, run_packet, run_packet_warm, run_patronoc,
-    run_patronoc_warm, Runner, WarmCapture, WarmRunner,
+    run_patronoc_warm, Runner, StepMode, WarmCapture, WarmRunner,
 };
 use scenario::{capture_warm, run_warm, Engine, PacketProfile, Scenario, TrafficSpec};
 use simkit::snap::{DecodeLimits, Decoder, SnapError};
@@ -113,10 +113,11 @@ fn warm_forks_match_cold_runs_across_the_traffic_matrix() {
 
 #[test]
 fn warm_forks_match_cold_runs_in_both_stepping_modes() {
-    // The stepping strategy (activity-driven vs full sweep) evolves
-    // bit-identical state and is excluded from the snapshot shape, so a
-    // per-mode checkpoint forks runs whose report *and* deterministic
-    // scheduler work counter match the cold run exactly.
+    // The stepping strategy (activity-driven vs full sweep, with or
+    // without event-horizon time skipping) evolves bit-identical state
+    // and is excluded from the snapshot shape, so a per-mode checkpoint
+    // forks runs whose report *and* deterministic scheduler work counter
+    // match the cold run exactly.
     let engines: [(&str, Runner, WarmCapture, WarmRunner); 2] = [
         (
             "patronoc",
@@ -128,12 +129,15 @@ fn warm_forks_match_cold_runs_in_both_stepping_modes() {
     ];
     for (name, runner, capture, warm_run) in engines {
         for &load in &[0.001, 1.0] {
-            for full_sweep in [false, true] {
-                let cold = runner(load, WINDOW, WARMUP, full_sweep);
-                let warm = capture(load, WARMUP, full_sweep).expect("perf points checkpoint");
-                let forked =
-                    warm_run(load, WINDOW, WARMUP, full_sweep, &warm).expect("warm fork runs");
-                let what = format!("{name} load {load} full_sweep {full_sweep}");
+            for mode in [
+                StepMode::active(true),
+                StepMode::active(false),
+                StepMode::full(),
+            ] {
+                let cold = runner(load, WINDOW, WARMUP, mode);
+                let warm = capture(load, WARMUP, mode).expect("perf points checkpoint");
+                let forked = warm_run(load, WINDOW, WARMUP, mode, &warm).expect("warm fork runs");
+                let what = format!("{name} load {load} mode {mode:?}");
                 assert_bit_identical(&cold.report, &forked.report, &what);
                 assert_eq!(cold.work_items, forked.work_items, "{what}: work diverged");
             }

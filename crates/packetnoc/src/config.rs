@@ -44,6 +44,15 @@ pub struct PacketNocConfig {
     /// active path is cross-checked against in
     /// `crates/bench/tests/equivalence.rs`.
     pub full_sweep: bool,
+    /// Event-horizon time skipping (default on): when the mesh is fully
+    /// drained and the traffic source reports its next arrival strictly
+    /// in the future (`simkit::horizon`), the run loop jumps `now` across
+    /// the idle gap in one step instead of ticking empty cycles. Results
+    /// are **bit-identical** either way — the equivalence suite pins that;
+    /// the knob exists so the reference path stays runnable.
+    /// [`full_sweep`](Self::full_sweep) forces it off: the debug sweep
+    /// steps every cycle by definition.
+    pub time_skip: bool,
     /// Worker threads for region-sharded execution of this one simulation
     /// (1 = serial). The mesh is split into contiguous row bands, one
     /// worker each; results are bit-identical at any thread count — the
@@ -71,6 +80,7 @@ impl PacketNocConfig {
             router_extra_latency: 2,
             ni_queue_cap: 64,
             full_sweep: false,
+            time_skip: true,
             threads: 1,
             saturate: SaturateThresholds::default(),
         }

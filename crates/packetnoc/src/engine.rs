@@ -20,7 +20,8 @@ use simkit::sched::ActiveSet;
 use simkit::slab::SlabStats;
 use simkit::snap::{DecodeLimits, Decoder, Encoder, SnapError};
 use simkit::{
-    Cycle, Fifo, Histogram, ProgressWatchdog, SimReport, Slab, StopReason, ThroughputMeter,
+    Cycle, Fifo, Histogram, Horizon, HorizonTracker, ProgressWatchdog, SimReport, Slab, StopReason,
+    ThroughputMeter,
 };
 
 use traffic::TrafficSource;
@@ -78,6 +79,10 @@ pub struct PacketNocSim {
     wall_cycles: Cycle,
     /// Wall-clock seconds spent inside timed [`run`](Self::run) loops.
     wall_secs: f64,
+    /// Cycles crossed by event-horizon time skipping ([`Self::try_skip`])
+    /// instead of stepping. Cumulative telemetry like `wall_cycles`:
+    /// excluded from snapshots and never reset on restore.
+    cycles_skipped: u64,
 }
 
 impl PacketNocSim {
@@ -151,6 +156,7 @@ impl PacketNocSim {
             saturated: false,
             wall_cycles: 0,
             wall_secs: 0.0,
+            cycles_skipped: 0,
         }
     }
 
@@ -263,6 +269,11 @@ impl PacketNocSim {
                 self.stop_reason = StopReason::Drained;
                 break;
             }
+            if let Some(target) = self.try_skip(source, deadline) {
+                // The skipped span is provably uneventful, so the watchdog
+                // must not count it towards a stall.
+                watchdog.excuse(target);
+            }
         }
         self.wall_cycles += self.now - first_cycle;
         self.wall_secs += wall_start.elapsed().as_secs_f64();
@@ -306,6 +317,7 @@ impl PacketNocSim {
             threads: self.cfg.threads,
             slab_high_water: slab.high_water,
             allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
+            cycles_skipped: self.cycles_skipped,
             state_digest: self.state_digest(),
         }
     }
@@ -314,6 +326,69 @@ impl PacketNocSim {
     #[must_use]
     pub fn is_drained(&self) -> bool {
         self.txs.iter().all(Slab::is_empty) && self.nis.iter().all(NetworkInterface::is_idle)
+    }
+
+    /// The engine's half of the event-horizon contract
+    /// (`simkit::horizon`): the earliest future cycle at which the mesh
+    /// itself can change state without new stimulus. With flits or
+    /// transfers in flight that is the very next cycle (`At(now)`); a
+    /// fully drained mesh is [`Horizon::Never`] — a fixed point until a
+    /// source injects.
+    ///
+    /// Draining alone ([`is_drained`](Self::is_drained)) is not a fixed
+    /// point: a buffer emptied by the delivery that retired the last
+    /// record still carries a stale cycle snapshot until its next
+    /// `begin_cycle` (it sits in the hot set awaiting exactly that), and
+    /// that refresh *is* a state change. The horizon therefore also
+    /// requires every buffer to be [`Fifo::is_idle`] — reached one or two
+    /// cycles after the drain — so a skip never jumps over a pending
+    /// refresh.
+    #[must_use]
+    pub fn horizon(&self) -> Horizon {
+        if self.is_drained() && self.bufs.iter().all(Fifo::is_idle) {
+            Horizon::Never
+        } else {
+            Horizon::At(self.now)
+        }
+    }
+
+    /// Event-horizon time skipping: when nothing observable can happen
+    /// before some future cycle — the mesh is drained *and* the source's
+    /// [`TrafficSource::next_arrival`] is strictly after `now` — jump
+    /// `now` straight to that cycle (clamped to `deadline`) instead of
+    /// ticking empty cycles. Returns the new `now` when a skip happened.
+    ///
+    /// Same correctness argument as the PATRONoC engine's `try_skip`:
+    /// quiescence makes stepping a drained mesh a state no-op, and the
+    /// source horizon promises every earlier `poll` yields `None` without
+    /// touching the random stream, so the skipped span is bit-for-bit
+    /// unobservable. Disabled by [`PacketNocConfig::time_skip`] = false
+    /// or [`PacketNocConfig::full_sweep`].
+    pub fn try_skip<S: TrafficSource + ?Sized>(
+        &mut self,
+        source: &S,
+        deadline: Cycle,
+    ) -> Option<Cycle> {
+        if !self.cfg.time_skip || self.cfg.full_sweep || self.now >= deadline {
+            return None;
+        }
+        let mut tracker = HorizonTracker::new();
+        tracker.observe(self.horizon());
+        tracker.observe(source.next_arrival(self.now));
+        let horizon = tracker.earliest();
+        if !horizon.is_after(self.now) {
+            return None;
+        }
+        // Both parties are quiet until the horizon: a `Never`/`Never`
+        // combination rides to the deadline (the run then stops on
+        // Budget exactly as the reference loop would).
+        let target = horizon.target(deadline);
+        if target <= self.now {
+            return None;
+        }
+        self.cycles_skipped += target - self.now;
+        self.now = target;
+        Some(target)
     }
 
     /// Telemetry of the in-flight-transfer arena — what
@@ -1261,6 +1336,71 @@ mod tests {
             assert_eq!(fr, ar, "report differs at load {load}");
             assert_eq!(fp, ap, "packet count differs at load {load}");
         }
+    }
+
+    /// Runs the same Poisson workload with time skipping on or off.
+    fn run_skip_modes(load: f64, window: u64) -> [(simkit::SimReport, u64); 2] {
+        [false, true].map(|time_skip| {
+            let cfg = PacketNocConfig {
+                time_skip,
+                ..PacketNocConfig::noxim_high_performance()
+            };
+            let mut sim = PacketNocSim::new(cfg);
+            let mut src = traffic::UniformRandom::new(traffic::UniformConfig {
+                masters: 16,
+                slaves: (0..16).collect(),
+                load,
+                bytes_per_cycle: 4.0,
+                max_transfer: 100,
+                read_fraction: 0.5,
+                region_size: 1 << 24,
+                seed: 0x5EED,
+            });
+            let report = sim.run(&mut src, window, window / 5);
+            (report, sim.packets_delivered())
+        })
+    }
+
+    #[test]
+    fn time_skipping_is_bit_identical_to_the_cycle_loop() {
+        for load in [0.001, 0.3, 1.0] {
+            let [(rr, rp), (sr, sp)] = run_skip_modes(load, 20_000);
+            assert_eq!(rr, sr, "report differs at load {load}");
+            assert_eq!(rp, sp, "packet count differs at load {load}");
+            assert_eq!(rr.cycles_skipped, 0, "reference must not skip");
+        }
+    }
+
+    #[test]
+    fn time_skipping_crosses_idle_gaps_at_low_load() {
+        let [_, (skipped, _)] = run_skip_modes(0.001, 20_000);
+        assert!(
+            skipped.cycles_skipped > 10_000,
+            "only {} of 20 000 mostly-idle cycles skipped",
+            skipped.cycles_skipped
+        );
+        // A saturated mesh has essentially no idle gaps (a stray cycle
+        // before the very first arrivals land is fine).
+        let [_, (busy, _)] = run_skip_modes(1.0, 20_000);
+        assert!(
+            busy.cycles_skipped < 100,
+            "saturated run skipped {} cycles",
+            busy.cycles_skipped
+        );
+    }
+
+    #[test]
+    fn full_sweep_forces_time_skipping_off() {
+        let cfg = PacketNocConfig {
+            full_sweep: true,
+            ..PacketNocConfig::noxim_compact()
+        };
+        assert!(cfg.time_skip, "skip defaults on even in the debug sweep");
+        let mut sim = PacketNocSim::new(cfg);
+        let mut src = OneEach::new(16, 100);
+        let report = sim.run(&mut src, 1_000_000, 0);
+        assert_eq!(report.stop_reason, StopReason::Drained);
+        assert_eq!(report.cycles_skipped, 0, "the reference path never skips");
     }
 
     /// Runs the same Poisson workload region-sharded across `threads`

@@ -64,6 +64,16 @@ pub struct NocConfig {
     /// cross-checked, and as a bisection aid if a future change ever
     /// breaks the quiescence contract.
     pub full_sweep: bool,
+    /// Event-horizon time skipping (default on): when the NoC is fully
+    /// drained and the traffic source reports its next arrival strictly in
+    /// the future (`simkit::horizon`), the run loop jumps `now` across the
+    /// idle gap in one step instead of ticking empty cycles. Results are
+    /// **bit-identical** either way — the quiescence contract the
+    /// active-set scheduler already proves makes empty cycles state
+    /// no-ops — and the equivalence suite pins that; the knob exists so
+    /// the reference path stays runnable. [`full_sweep`](Self::full_sweep)
+    /// forces it off: the debug sweep steps every cycle by definition.
+    pub time_skip: bool,
     /// Worker threads for region-sharded execution (default 1 = the serial
     /// cycle loop). With more than one thread the mesh is partitioned into
     /// contiguous row bands (at most one per row) that step in parallel
@@ -99,6 +109,7 @@ impl NocConfig {
             masters: (0..n).collect(),
             slaves: (0..n).collect(),
             full_sweep: false,
+            time_skip: true,
             threads: 1,
             saturate: SaturateThresholds::default(),
         }

@@ -36,7 +36,10 @@ use simkit::region::{DisjointSlots, RegionMap};
 use simkit::sched::ActiveSet;
 use simkit::slab::SlabStats;
 use simkit::snap::{DecodeLimits, Decoder, Encoder, SnapError};
-use simkit::{Cycle, Histogram, ProgressWatchdog, SimReport, Slab, StopReason, ThroughputMeter};
+use simkit::{
+    Cycle, Histogram, Horizon, HorizonTracker, ProgressWatchdog, SimReport, Slab, StopReason,
+    ThroughputMeter,
+};
 use traffic::TrafficSource;
 
 /// The component at one end of a link, for activity propagation: a live
@@ -173,6 +176,10 @@ pub struct NocSim {
     wall_cycles: Cycle,
     /// Wall-clock seconds spent inside timed [`run`](Self::run) loops.
     wall_secs: f64,
+    /// Cycles crossed by event-horizon time skipping ([`Self::try_skip`])
+    /// instead of stepping. Cumulative telemetry like `wall_cycles`:
+    /// excluded from snapshots and never reset on restore.
+    cycles_skipped: u64,
 }
 
 impl NocSim {
@@ -319,6 +326,7 @@ impl NocSim {
             sched,
             wall_cycles: 0,
             wall_secs: 0.0,
+            cycles_skipped: 0,
         })
     }
 
@@ -437,6 +445,11 @@ impl NocSim {
             if source.is_done() && self.is_drained() {
                 self.stop_reason = StopReason::Drained;
                 break;
+            }
+            if let Some(target) = self.try_skip(source, deadline) {
+                // The skipped span is provably uneventful, so the watchdog
+                // must not count it towards a stall.
+                watchdog.excuse(target);
             }
         }
         self.wall_cycles += self.now - first_cycle;
@@ -853,6 +866,73 @@ impl NocSim {
             && self.links.iter().all(AxiLink::is_idle)
     }
 
+    /// The engine's half of the event-horizon contract
+    /// (`simkit::horizon`): the earliest future cycle at which the NoC
+    /// itself can change state without new stimulus. With work in flight
+    /// that is the very next cycle (`At(now)` — the engine models no
+    /// internal timers longer than a cycle, so it never looks further
+    /// ahead); fully drained it is [`Horizon::Never`], because a drained
+    /// two-phase NoC is a fixed point until a source injects.
+    ///
+    /// Draining alone ([`is_drained`](Self::is_drained)) is not a fixed
+    /// point: a link emptied this cycle still carries stale channel
+    /// snapshots until its next `begin_cycle` (it sits in the hot set
+    /// awaiting exactly that), and that refresh *is* a state change. The
+    /// horizon therefore also requires every link to be
+    /// [`AxiLink::is_quiescent`] — reached a cycle or two after the drain
+    /// — so a skip never jumps over a pending refresh.
+    #[must_use]
+    pub fn horizon(&self) -> Horizon {
+        if self.is_drained() && self.links.iter().all(AxiLink::is_quiescent) {
+            Horizon::Never
+        } else {
+            Horizon::At(self.now)
+        }
+    }
+
+    /// Event-horizon time skipping: when nothing observable can happen
+    /// before some future cycle — the NoC is drained *and* the source's
+    /// [`TrafficSource::next_arrival`] is strictly after `now` — jump
+    /// `now` straight to that cycle (clamped to `deadline`) instead of
+    /// ticking empty cycles. Returns the new `now` when a skip happened.
+    ///
+    /// Correctness leans on two existing contracts: the quiescence
+    /// property (stepping a drained NoC is a state no-op — the same fact
+    /// that lets the active-set scheduler skip components), and the
+    /// source horizon's promise that every `poll` strictly before the
+    /// returned cycle yields `None` without touching the random stream.
+    /// Together they make the skipped span bit-for-bit unobservable; the
+    /// equivalence suite pins skip ≡ no-skip across engines, traffic
+    /// classes and thread counts. Disabled by [`NocConfig::time_skip`] =
+    /// false or [`NocConfig::full_sweep`] (the reference path steps every
+    /// cycle by definition).
+    pub fn try_skip<S: TrafficSource + ?Sized>(
+        &mut self,
+        source: &S,
+        deadline: Cycle,
+    ) -> Option<Cycle> {
+        if !self.cfg.time_skip || self.cfg.full_sweep || self.now >= deadline {
+            return None;
+        }
+        let mut tracker = HorizonTracker::new();
+        tracker.observe(self.horizon());
+        tracker.observe(source.next_arrival(self.now));
+        let horizon = tracker.earliest();
+        if !horizon.is_after(self.now) {
+            return None;
+        }
+        // Both parties are quiet until the horizon: a `Never`/`Never`
+        // combination rides to the deadline (the run then stops on
+        // Budget exactly as the reference loop would).
+        let target = horizon.target(deadline);
+        if target <= self.now {
+            return None;
+        }
+        self.cycles_skipped += target - self.now;
+        self.now = target;
+        Some(target)
+    }
+
     /// Cumulative scheduler work: links refreshed plus components stepped,
     /// counted identically in active and full-sweep mode. Deterministic
     /// (unlike wall clock), which is what the equivalence tests assert the
@@ -943,6 +1023,7 @@ impl NocSim {
             },
             slab_high_water: slab.high_water,
             allocs_per_kilocycle: slab.allocs as f64 * 1000.0 / self.now.max(1) as f64,
+            cycles_skipped: self.cycles_skipped,
             threads: self.cfg.threads,
             state_digest: self.state_digest(),
         }
@@ -1666,6 +1747,73 @@ mod tests {
                 sim.work_items(),
             )
         })
+    }
+
+    /// Runs the same Poisson workload with time skipping on or off.
+    fn run_skip_modes(load: f64, window: u64) -> [Observed; 2] {
+        [false, true].map(|time_skip| {
+            let mut cfg = NocConfig::slim_4x4();
+            cfg.time_skip = time_skip;
+            let mut sim = NocSim::new(cfg).unwrap();
+            let mut src = traffic::UniformRandom::new_copies(traffic::UniformConfig {
+                masters: 16,
+                slaves: (0..16).collect(),
+                load,
+                bytes_per_cycle: 4.0,
+                max_transfer: 1000,
+                read_fraction: 0.5,
+                region_size: 1 << 24,
+                seed: 0x5EED,
+            });
+            let report = sim.run(&mut src, window, window / 5);
+            (
+                report,
+                sim.slave_write_bytes(),
+                sim.link_occupancy(),
+                sim.work_items(),
+            )
+        })
+    }
+
+    #[test]
+    fn time_skipping_is_bit_identical_to_the_cycle_loop() {
+        for load in [0.001, 0.3, 1.0] {
+            let [(rr, rw, ro, _), (sr, sw, so, _)] = run_skip_modes(load, 20_000);
+            assert_eq!(rr, sr, "report differs at load {load}");
+            assert_eq!(rw, sw, "slave bytes differ at load {load}");
+            assert_eq!(ro, so, "link occupancy differs at load {load}");
+            assert_eq!(rr.cycles_skipped, 0, "reference must not skip");
+        }
+    }
+
+    #[test]
+    fn time_skipping_crosses_idle_gaps_at_low_load() {
+        let [_, (skipped, ..)] = run_skip_modes(0.001, 20_000);
+        assert!(
+            skipped.cycles_skipped > 10_000,
+            "only {} of 20 000 mostly-idle cycles skipped",
+            skipped.cycles_skipped
+        );
+        // A saturated NoC has essentially no idle gaps (a stray cycle
+        // before the very first arrivals land is fine).
+        let [_, (busy, ..)] = run_skip_modes(1.0, 20_000);
+        assert!(
+            busy.cycles_skipped < 100,
+            "saturated run skipped {} cycles",
+            busy.cycles_skipped
+        );
+    }
+
+    #[test]
+    fn full_sweep_forces_time_skipping_off() {
+        let mut cfg = NocConfig::slim_4x4();
+        cfg.full_sweep = true;
+        assert!(cfg.time_skip, "skip defaults on even in the debug sweep");
+        let mut sim = NocSim::new(cfg).unwrap();
+        let mut src = OneEach::new(16, 64, TransferKind::Write, |m| (m + 1) % 16);
+        let report = sim.run(&mut src, 50_000, 0);
+        assert_eq!(report.stop_reason, StopReason::Drained);
+        assert_eq!(report.cycles_skipped, 0, "the reference path never skips");
     }
 
     #[test]

@@ -132,6 +132,12 @@ pub struct Scenario {
     /// value — the knob trades wall clock only — so it stays out of the
     /// derived per-point seeds.
     pub threads: usize,
+    /// Event-horizon time skipping (default on): the engine jumps `now`
+    /// across provably idle gaps instead of ticking empty cycles. Results
+    /// are bit-identical either way (`simkit::horizon`), so like
+    /// [`threads`](Self::threads) the knob trades wall clock only and
+    /// stays out of the derived per-point seeds.
+    pub time_skip: bool,
 }
 
 impl Scenario {
@@ -158,6 +164,7 @@ impl Scenario {
             budget: None,
             seed: 0,
             threads: 1,
+            time_skip: true,
         }
     }
 
@@ -283,6 +290,14 @@ impl Scenario {
         self
     }
 
+    /// Enables or disables event-horizon time skipping (on by default;
+    /// results are bit-identical either way).
+    #[must_use]
+    pub fn time_skip(mut self, enabled: bool) -> Self {
+        self.time_skip = enabled;
+        self
+    }
+
     /// The number of nodes (= DMA masters) the topology provides.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
@@ -350,6 +365,7 @@ impl Scenario {
         cfg.link_stages = self.link_stages;
         cfg.region_size = self.region_size;
         cfg.threads = self.threads;
+        cfg.time_skip = self.time_skip;
         if let TrafficSpec::Synthetic { pattern, .. } = self.traffic {
             let (cols, rows) = self
                 .mesh_dims()
@@ -387,6 +403,7 @@ impl Scenario {
                 cfg.cols = cols;
                 cfg.rows = rows;
                 cfg.threads = self.threads;
+                cfg.time_skip = self.time_skip;
                 Ok(Box::new(packetnoc::PacketNocSim::new(cfg)))
             }
         }
@@ -619,6 +636,17 @@ impl Scenario {
             }))?,
             Err(_) => 1,
         };
+        // Lenient: documents predating the time-skip knob mean on (the
+        // default; results are bit-identical either way).
+        let time_skip = match obj_get(v, "time_skip") {
+            Ok(Json::Bool(b)) => *b,
+            Ok(other) => {
+                return Err(ScenarioError::Parse(format!(
+                    "key `time_skip`: expected a boolean, got `{other}`"
+                )))
+            }
+            Err(_) => true,
+        };
         Ok(Self {
             engine: parse(crate::spec::EngineSpec::from_json(parse(obj_get(
                 v, "engine",
@@ -640,6 +668,7 @@ impl Scenario {
             budget,
             seed: parse(get_u64(v, "seed"))?,
             threads,
+            time_skip,
         })
     }
 
@@ -707,6 +736,7 @@ impl Scenario {
             ("budget", self.budget.map_or(Json::Null, Json::U64)),
             ("seed", Json::U64(self.seed)),
             ("threads", Json::U64(self.threads as u64)),
+            ("time_skip", Json::Bool(self.time_skip)),
         ])
     }
 }
@@ -835,6 +865,8 @@ mod tests {
             "\"window\":20",
             "\"budget\":null",
             "\"seed\":7",
+            "\"threads\":1",
+            "\"time_skip\":true",
         ] {
             assert!(json.contains(key), "{key} missing from {json}");
         }

@@ -182,7 +182,7 @@ impl TrafficSpec {
                 read_fraction,
             } => Json::obj(vec![
                 ("kind", Json::str("synthetic")),
-                ("pattern", Json::str(pattern_label(pattern))),
+                ("pattern", Json::Str(pattern_label(pattern))),
                 ("load", Json::F64(load)),
                 ("max_transfer", Json::U64(max_transfer)),
                 ("read_fraction", Json::F64(read_fraction)),
@@ -233,17 +233,29 @@ impl TrafficSpec {
     }
 }
 
-fn pattern_label(pattern: SyntheticPattern) -> &'static str {
+fn pattern_label(pattern: SyntheticPattern) -> String {
     match pattern {
-        SyntheticPattern::AllGlobal => "all-global",
-        SyntheticPattern::MaxTwoHop => "max-2-hop",
-        SyntheticPattern::MaxSingleHop => "max-1-hop",
-        SyntheticPattern::Transpose => "transpose",
-        SyntheticPattern::BitComplement => "bit-complement",
+        SyntheticPattern::AllGlobal => "all-global".to_owned(),
+        SyntheticPattern::MaxTwoHop => "max-2-hop".to_owned(),
+        SyntheticPattern::MaxSingleHop => "max-1-hop".to_owned(),
+        SyntheticPattern::Transpose => "transpose".to_owned(),
+        SyntheticPattern::BitComplement => "bit-complement".to_owned(),
+        // The skew is part of the workload identity, so it rides in the
+        // label: "hotspot-70" is 70 % of traffic on the hot node.
+        SyntheticPattern::Hotspot { skew_pct } => format!("hotspot-{skew_pct}"),
     }
 }
 
 fn pattern_from_label(label: &str) -> Result<SyntheticPattern, String> {
+    if let Some(skew) = label.strip_prefix("hotspot-") {
+        let skew_pct: u8 = skew
+            .parse()
+            .map_err(|_| format!("bad hotspot skew `{skew}`"))?;
+        if !(1..=100).contains(&skew_pct) {
+            return Err(format!("hotspot skew `{skew_pct}` outside 1..=100"));
+        }
+        return Ok(SyntheticPattern::Hotspot { skew_pct });
+    }
     match label {
         "all-global" => Ok(SyntheticPattern::AllGlobal),
         "max-2-hop" => Ok(SyntheticPattern::MaxTwoHop),
@@ -333,6 +345,35 @@ mod tests {
         let h = PacketProfile::HighPerformance.base_config();
         assert_eq!((c.vcs, c.buf_flits), (1, 4));
         assert_eq!((h.vcs, h.buf_flits), (4, 32));
+    }
+
+    #[test]
+    fn pattern_labels_round_trip() {
+        let patterns = [
+            SyntheticPattern::AllGlobal,
+            SyntheticPattern::MaxTwoHop,
+            SyntheticPattern::MaxSingleHop,
+            SyntheticPattern::Transpose,
+            SyntheticPattern::BitComplement,
+            SyntheticPattern::Hotspot { skew_pct: 1 },
+            SyntheticPattern::Hotspot { skew_pct: 70 },
+            SyntheticPattern::Hotspot { skew_pct: 100 },
+        ];
+        for pattern in patterns {
+            let label = pattern_label(pattern);
+            assert_eq!(pattern_from_label(&label), Ok(pattern), "via `{label}`");
+        }
+        assert_eq!(
+            pattern_label(SyntheticPattern::Hotspot { skew_pct: 70 }),
+            "hotspot-70"
+        );
+    }
+
+    #[test]
+    fn bad_hotspot_labels_rejected() {
+        for label in ["hotspot-0", "hotspot-101", "hotspot-", "hotspot-7x"] {
+            assert!(pattern_from_label(label).is_err(), "`{label}` accepted");
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn traffic_strategy() -> impl Strategy<Value = TrafficSpec> {
                 Just(traffic::SyntheticPattern::MaxSingleHop),
                 Just(traffic::SyntheticPattern::Transpose),
                 Just(traffic::SyntheticPattern::BitComplement),
+                (1u8..=100).prop_map(|skew_pct| traffic::SyntheticPattern::Hotspot { skew_pct }),
             ],
             0.0001..1.0f64,
             1u64..65_000,

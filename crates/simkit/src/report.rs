@@ -84,6 +84,17 @@ pub struct SimReport {
     /// pressure figure the arena refactor drives towards "one alloc per
     /// transaction, zero per cycle". Telemetry; excluded from `PartialEq`.
     pub allocs_per_kilocycle: f64,
+    /// Cycles the engine crossed by event-horizon time skipping instead of
+    /// stepping (see `simkit::horizon`): the run loop jumped `now` across
+    /// gaps in which provably nothing observable happens. The skipped
+    /// cycles are still simulated time — they count in
+    /// [`cycles`](Self::cycles) and in the wall-clock rate behind
+    /// [`cycles_per_sec`](Self::cycles_per_sec) — but cost no stepping
+    /// work. Telemetry about *how* the result was computed (a skipping
+    /// run equals its cycle-by-cycle reference bit for bit), so like
+    /// [`cycles_per_sec`](Self::cycles_per_sec) it is excluded from
+    /// `PartialEq`.
+    pub cycles_skipped: u64,
     /// Worker threads the engine simulated this run with (region-sharded
     /// execution; 1 = the serial cycle loop). Describes *how* the result
     /// was computed, not the simulated NoC — the whole point of the
@@ -134,6 +145,7 @@ mod tests {
             cycles_per_sec: 1.0e6,
             slab_high_water: 7,
             allocs_per_kilocycle: 0.25,
+            cycles_skipped: 0,
             threads: 1,
         }
     }
@@ -155,6 +167,7 @@ mod tests {
         faster.cycles_per_sec = 9.0e6;
         faster.slab_high_water = 99;
         faster.allocs_per_kilocycle = 42.0;
+        faster.cycles_skipped = 11_000;
         faster.threads = 8;
         assert_eq!(r, faster, "telemetry must not break determinism");
         let mut different = r.clone();

@@ -22,7 +22,7 @@
 use crate::chkpt::{self, corrupt};
 use crate::source::{TrafficSource, Transfer, TransferKind};
 use simkit::snap::{DecodeLimits, Decoder, Encoder, SnapError};
-use simkit::{Cycle, Rng};
+use simkit::{Cycle, Horizon, Rng};
 use std::collections::VecDeque;
 
 /// One convolutional (or fully-connected) layer of the network.
@@ -709,6 +709,18 @@ impl TrafficSource for DnnTraffic {
         self.completed == self.entries.len()
     }
 
+    fn next_arrival(&self, now: Cycle) -> Horizon {
+        // A trace is untimed: anything ready is pollable immediately, and
+        // nothing else can become ready without an `on_complete` callback
+        // — which a quiescent engine, having nothing in flight, will never
+        // deliver. So the horizon is either "right now" or "never".
+        if self.ready.iter().any(|q| !q.is_empty()) {
+            Horizon::At(now)
+        } else {
+            Horizon::Never
+        }
+    }
+
     fn snapshot_state(&self) -> Option<Vec<u8>> {
         let mut e = Encoder::new(chkpt::SNAP_KIND, self.shape());
         e.usize(self.completed);
@@ -1027,6 +1039,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn next_arrival_tracks_ready_work() {
+        let mut t = DnnTraffic::new(&DnnConfig::default());
+        // Fresh trace: roots are ready on every core.
+        assert_eq!(t.next_arrival(5), Horizon::At(5));
+        // Drain everything pollable without completing: all queues empty,
+        // all remaining work gated on completions → Never.
+        for m in 0..t.ready.len() {
+            while t.poll(m, 0).is_some() {}
+        }
+        assert!(!t.is_done());
+        assert_eq!(t.next_arrival(9), Horizon::Never);
     }
 
     #[test]

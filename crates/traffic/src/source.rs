@@ -5,7 +5,7 @@
 //! when they complete, which lets dependency-driven workloads (the DNN
 //! traces of Fig. 7) release downstream transfers.
 
-use simkit::Cycle;
+use simkit::{Cycle, Horizon};
 
 /// Whether a transfer reads from, writes to, or copies between remote
 /// endpoints.
@@ -77,6 +77,19 @@ pub trait TrafficSource {
         false
     }
 
+    /// The earliest cycle at which any master can next produce a transfer —
+    /// the source's half of the event-horizon time-skipping contract
+    /// (`simkit::horizon`). Must be *conservative and pure*: it never
+    /// touches the random stream or any other state, and it promises that
+    /// every `poll` strictly before the returned cycle returns `None`.
+    /// [`Horizon::Never`] additionally promises that only an external
+    /// cause (an [`on_complete`](Self::on_complete) callback) can ready
+    /// more work. The default, `At(now)`, is the no-lookahead answer: it
+    /// is always correct and simply forbids skipping.
+    fn next_arrival(&self, now: Cycle) -> Horizon {
+        Horizon::At(now)
+    }
+
     /// Serializes the source's complete deterministic state (RNG streams,
     /// arrival clocks, dependency progress) as a self-validating byte
     /// string, or `None` when the source does not support checkpointing —
@@ -98,9 +111,40 @@ pub trait TrafficSource {
     }
 }
 
+/// The horizon implied by a fractional Poisson arrival clock: the first
+/// integer cycle `c` with `c ≥ next_arrival`, i.e. the first cycle at
+/// which the stochastic sources' poll guard (`next_arrival > now as f64`)
+/// stops returning `None`. Saturates arrival clocks beyond the cycle
+/// range to the last representable cycle (an unreachable future).
+pub(crate) fn arrival_horizon(next_arrival: f64) -> Horizon {
+    // `f64 as u64` saturates at the type bounds; clocks are validated
+    // non-negative and finite on restore and can never be negative by
+    // construction.
+    Horizon::At(next_arrival.ceil() as Cycle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arrival_horizon_matches_the_poll_guard() {
+        // The guard fires at the first integer cycle not before the clock.
+        for (clock, cycle) in [(0.0, 0), (0.2, 1), (7.0, 7), (7.001, 8)] {
+            assert_eq!(arrival_horizon(clock), Horizon::At(cycle), "clock {clock}");
+            // Cross-check against the guard expression itself.
+            assert!(clock <= cycle as f64, "guard admits cycle {cycle}");
+            if cycle > 0 {
+                assert!(
+                    clock > (cycle - 1) as f64,
+                    "guard blocks cycle {}",
+                    cycle - 1
+                );
+            }
+        }
+        // Out-of-range clocks saturate to an unreachable future cycle.
+        assert_eq!(arrival_horizon(1e300), Horizon::At(u64::MAX));
+    }
 
     /// A trivial one-shot source used to validate the default impls.
     struct OneShot(Option<Transfer>);
@@ -122,6 +166,11 @@ mod tests {
         };
         let mut s = OneShot(Some(t));
         assert!(!s.is_done());
+        assert_eq!(
+            s.next_arrival(42),
+            Horizon::At(42),
+            "no-lookahead default never permits a skip"
+        );
         assert_eq!(s.poll(0, 0), Some(t));
         assert_eq!(s.poll(0, 1), None);
         s.on_complete(0, 1, 10); // must not panic

@@ -13,13 +13,17 @@
 //!   modelling DNN schedules that place communicating kernels on nearby
 //!   cores.
 //!
+//! Plus the two classical address-mapped stress patterns (transpose,
+//! bit-complement) and a skewed **hotspot** pattern (slaves everywhere,
+//! a configurable share of transfers aimed at one central node).
+//!
 //! Transfer lengths and arrival timing use the same randomized-burst Poisson
 //! process as [`crate::uniform`].
 
 use crate::chkpt;
-use crate::source::{TrafficSource, Transfer, TransferKind};
+use crate::source::{arrival_horizon, TrafficSource, Transfer, TransferKind};
 use simkit::snap::{DecodeLimits, Decoder, Encoder};
-use simkit::{Cycle, Rng};
+use simkit::{Cycle, Horizon, Rng};
 
 /// The synthetic access patterns: the three locality-controlled patterns
 /// of Fig. 5 plus the two classical address-mapped NoC stress patterns
@@ -40,6 +44,16 @@ pub enum SyntheticPattern {
     /// Master `m` → slave `n − 1 − m`: every transfer crosses the mesh
     /// center — the worst-case bisection stress pattern.
     BitComplement,
+    /// Hotspot: slaves at every node, but each transfer targets the
+    /// central hot node (the [`AllGlobal`](Self::AllGlobal) slave) with
+    /// probability `skew_pct`%, and a uniformly random node otherwise —
+    /// the ROADMAP's "heavy traffic on one slave" skewed workload.
+    /// `skew_pct` must be in `1..=100`; 100 degenerates to
+    /// [`AllGlobal`](Self::AllGlobal) with extra idle slaves.
+    Hotspot {
+        /// Percent of transfers aimed at the hot node (`1..=100`).
+        skew_pct: u8,
+    },
 }
 
 impl SyntheticPattern {
@@ -54,11 +68,16 @@ impl SyntheticPattern {
     #[must_use]
     pub fn slave_nodes(self, cols: usize, rows: usize) -> Vec<usize> {
         assert!(cols >= 3 && rows >= 3, "pattern needs at least a 3x3 mesh");
+        self.validate();
         if self == Self::Transpose {
             assert_eq!(cols, rows, "transpose needs a square mesh");
         }
-        // The address-mapped patterns are bijections: every node receives.
-        if matches!(self, Self::Transpose | Self::BitComplement) {
+        // The address-mapped patterns are bijections, and the hotspot's
+        // cold side is mesh-wide: every node receives.
+        if matches!(
+            self,
+            Self::Transpose | Self::BitComplement | Self::Hotspot { .. }
+        ) {
             return (0..cols * rows).collect();
         }
         let node = |x: usize, y: usize| y * cols + x;
@@ -88,7 +107,35 @@ impl SyntheticPattern {
                 }
                 v
             }
-            Self::Transpose | Self::BitComplement => unreachable!("returned above"),
+            Self::Transpose | Self::BitComplement | Self::Hotspot { .. } => {
+                unreachable!("returned above")
+            }
+        }
+    }
+
+    /// Validates the pattern's parameters (the skew of a
+    /// [`Hotspot`](Self::Hotspot) must be a percentage in `1..=100`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range skew.
+    pub fn validate(self) {
+        if let Self::Hotspot { skew_pct } = self {
+            assert!(
+                (1..=100).contains(&skew_pct),
+                "hotspot skew must be in 1..=100 percent, got {skew_pct}"
+            );
+        }
+    }
+
+    /// The hot node of a [`Hotspot`](Self::Hotspot) pattern — the same
+    /// central endpoint [`AllGlobal`](Self::AllGlobal) uses as its single
+    /// slave; `None` for every other pattern.
+    #[must_use]
+    pub fn hot_node(self, cols: usize, rows: usize) -> Option<usize> {
+        match self {
+            Self::Hotspot { .. } => Some(((rows - 1) / 2) * cols + cols / 2),
+            _ => None,
         }
     }
 
@@ -97,7 +144,7 @@ impl SyntheticPattern {
     #[must_use]
     pub fn max_hops(self) -> Option<u32> {
         match self {
-            Self::AllGlobal | Self::Transpose | Self::BitComplement => None,
+            Self::AllGlobal | Self::Transpose | Self::BitComplement | Self::Hotspot { .. } => None,
             Self::MaxTwoHop => Some(2),
             Self::MaxSingleHop => Some(1),
         }
@@ -115,7 +162,7 @@ impl SyntheticPattern {
                 Some(x * cols + y)
             }
             Self::BitComplement => Some(cols * rows - 1 - master),
-            Self::AllGlobal | Self::MaxTwoHop | Self::MaxSingleHop => None,
+            Self::AllGlobal | Self::MaxTwoHop | Self::MaxSingleHop | Self::Hotspot { .. } => None,
         }
     }
 }
@@ -171,6 +218,7 @@ impl SyntheticTraffic {
     #[must_use]
     pub fn new(cfg: SyntheticConfig) -> Self {
         assert!(cfg.load > 0.0 && cfg.max_transfer > 0);
+        cfg.pattern.validate();
         let n = cfg.cols * cfg.rows;
         let slaves = cfg.pattern.slave_nodes(cfg.cols, cfg.rows);
         let eligible: Vec<Vec<usize>> = (0..n)
@@ -230,13 +278,17 @@ impl SyntheticTraffic {
         e.byte(2); // source type: synthetic pattern
         e.usize(cfg.cols);
         e.usize(cfg.rows);
-        e.byte(match cfg.pattern {
-            SyntheticPattern::AllGlobal => 0,
-            SyntheticPattern::MaxTwoHop => 1,
-            SyntheticPattern::MaxSingleHop => 2,
-            SyntheticPattern::Transpose => 3,
-            SyntheticPattern::BitComplement => 4,
-        });
+        match cfg.pattern {
+            SyntheticPattern::AllGlobal => e.byte(0),
+            SyntheticPattern::MaxTwoHop => e.byte(1),
+            SyntheticPattern::MaxSingleHop => e.byte(2),
+            SyntheticPattern::Transpose => e.byte(3),
+            SyntheticPattern::BitComplement => e.byte(4),
+            SyntheticPattern::Hotspot { skew_pct } => {
+                e.byte(5);
+                e.byte(skew_pct);
+            }
+        }
         e.f64(cfg.load);
         e.f64(cfg.bytes_per_cycle);
         e.u64(cfg.max_transfer);
@@ -257,7 +309,17 @@ impl TrafficSource for SyntheticTraffic {
         *next_arrival += -u.ln() * self.mean_gap;
         let bytes = rng.gen_range_inclusive(1, self.cfg.max_transfer);
         let list = &self.eligible[master];
-        let dst = list[rng.gen_range(list.len() as u64) as usize];
+        let hot = match self.cfg.pattern {
+            SyntheticPattern::Hotspot { skew_pct } => rng
+                .gen_bool(f64::from(skew_pct) / 100.0)
+                .then(|| self.cfg.pattern.hot_node(self.cfg.cols, self.cfg.rows))
+                .flatten(),
+            _ => None,
+        };
+        let dst = match hot {
+            Some(node) => node,
+            None => list[rng.gen_range(list.len() as u64) as usize],
+        };
         let max_offset = self.cfg.region_size.saturating_sub(bytes);
         let offset = if max_offset == 0 {
             0
@@ -277,6 +339,16 @@ impl TrafficSource for SyntheticTraffic {
             bytes,
             kind,
         })
+    }
+
+    fn next_arrival(&self, _now: Cycle) -> Horizon {
+        // Like `UniformRandom`, each master's Poisson clock is
+        // materialized eagerly, so the horizon is a pure read of the
+        // earliest clock — no random stream is touched.
+        self.per_master
+            .iter()
+            .map(|(_, next_arrival, _)| arrival_horizon(*next_arrival))
+            .fold(Horizon::Never, Horizon::min)
     }
 
     fn snapshot_state(&self) -> Option<Vec<u8>> {
@@ -454,6 +526,101 @@ mod tests {
     #[should_panic(expected = "square")]
     fn transpose_rejects_rectangular_meshes() {
         let _ = SyntheticPattern::Transpose.slave_nodes(4, 3);
+    }
+
+    #[test]
+    fn hotspot_slaves_everywhere_hot_node_at_the_center() {
+        let p = SyntheticPattern::Hotspot { skew_pct: 70 };
+        assert_eq!(p.slave_nodes(4, 4), (0..16).collect::<Vec<_>>());
+        // Same center endpoint AllGlobal uses: (x=2, y=1) → 6 on 4×4.
+        assert_eq!(p.hot_node(4, 4), Some(6));
+        assert_eq!(SyntheticPattern::AllGlobal.hot_node(4, 4), None);
+        assert_eq!(p.max_hops(), None);
+        assert_eq!(p.fixed_destination(4, 4, 3), None);
+    }
+
+    #[test]
+    fn hotspot_skew_concentrates_traffic_on_the_hot_node() {
+        let mut src = SyntheticTraffic::new(cfg(SyntheticPattern::Hotspot { skew_pct: 70 }));
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for now in 0..20_000 {
+            for m in 0..16 {
+                while let Some(t) = src.poll(m, now) {
+                    total += 1;
+                    if t.dst == 6 {
+                        hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 1_000, "expected a busy stream, got {total}");
+        // 70% aimed draws plus 1/16 of the uniform remainder ≈ 0.719.
+        let frac = hot as f64 / total as f64;
+        assert!(
+            (0.65..0.78).contains(&frac),
+            "hot fraction {frac} off the 70% skew"
+        );
+    }
+
+    #[test]
+    fn hotspot_cold_side_covers_the_whole_mesh() {
+        let mut src = SyntheticTraffic::new(cfg(SyntheticPattern::Hotspot { skew_pct: 30 }));
+        let mut seen = [false; 16];
+        for now in 0..5_000 {
+            for m in 0..16 {
+                while let Some(t) = src.poll(m, now) {
+                    seen[t.dst] = true;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "cold destinations missing: {seen:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be in 1..=100")]
+    fn hotspot_zero_skew_rejected() {
+        let _ = SyntheticTraffic::new(cfg(SyntheticPattern::Hotspot { skew_pct: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be in 1..=100")]
+    fn hotspot_overfull_skew_rejected_at_placement() {
+        let _ = SyntheticPattern::Hotspot { skew_pct: 101 }.slave_nodes(4, 4);
+    }
+
+    #[test]
+    fn hotspot_checkpoints_are_skew_specific() {
+        let src = SyntheticTraffic::new(cfg(SyntheticPattern::Hotspot { skew_pct: 70 }));
+        let bytes = src.snapshot_state().unwrap();
+        let mut other = SyntheticTraffic::new(cfg(SyntheticPattern::Hotspot { skew_pct: 71 }));
+        assert!(!other.restore_state(&bytes), "skew is part of the shape");
+        let mut same = SyntheticTraffic::new(cfg(SyntheticPattern::Hotspot { skew_pct: 70 }));
+        assert!(same.restore_state(&bytes));
+    }
+
+    #[test]
+    fn next_arrival_bounds_the_first_poll() {
+        let mut c = cfg(SyntheticPattern::Hotspot { skew_pct: 50 });
+        c.load = 0.001;
+        let mut src = SyntheticTraffic::new(c);
+        // Drain cycle 0, then the horizon must be future-dated and no poll
+        // may fire before it.
+        for m in 0..16 {
+            while src.poll(m, 0).is_some() {}
+        }
+        let Horizon::At(h) = src.next_arrival(0) else {
+            panic!("open-loop source is never exhausted")
+        };
+        assert!(h > 0, "post-drain horizon must be in the future");
+        for now in 1..h.min(200) {
+            for m in 0..16 {
+                assert_eq!(src.poll(m, now), None, "early fire at {now}");
+            }
+        }
     }
 
     #[test]
